@@ -1,0 +1,185 @@
+// Package algrec is a reproduction of Beeri & Milo, "On the Power of
+// Algebras with Recursion" (SIGMOD 1993): the algebra and IFP-algebra over
+// complex objects, their extension with general recursive definitions
+// (algebra= / IFP-algebra=), a deductive language with negation, the
+// valid / well-founded / stable / inflationary / stratified semantics, and
+// the paper's constructive translations between the two paradigms.
+//
+// This root package is the public facade: it re-exports the types a user
+// needs and wraps the common entry points. The implementation lives in the
+// internal packages:
+//
+//	internal/value      complex-object values (atoms, tuples, finite sets)
+//	internal/algebra    the algebra and IFP-algebra operators and evaluator
+//	internal/core       algebra= programs and their valid-model semantics
+//	internal/datalog    the deductive language: AST, parser, safety, strata
+//	internal/semantics  minimal/stratified/inflationary/WFS/valid/stable
+//	internal/translate  the Section 5 and Section 6 translations
+//	internal/spec       algebraic specifications (SET(nat), Example 2, ...)
+//	internal/expt       the experiment suite behind EXPERIMENTS.md
+//
+// # Quick start
+//
+//	script, err := algrec.ParseScript(`
+//	    rel move = {(a, b), (b, c), (b, d)};
+//	    def win = map(diff(move, product(map(move, \x -> x.1), win)), \x -> x.1);
+//	`)
+//	res, err := algrec.EvalScript(script)
+//	fmt.Println(res.Set("win")) // {b}
+//
+// See the examples/ directory for complete programs.
+package algrec
+
+import (
+	"algrec/internal/algebra"
+	"algrec/internal/algebra/parse"
+	"algrec/internal/core"
+	"algrec/internal/datalog"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/semantics"
+	"algrec/internal/translate"
+	"algrec/internal/value"
+)
+
+// Core value model.
+type (
+	// Value is a complex-object value: bool, int, string/symbol, tuple, or
+	// finite set.
+	Value = value.Value
+	// Set is a canonical finite set of values.
+	Set = value.Set
+	// Tuple is an ordered sequence of values.
+	Tuple = value.Tuple
+)
+
+// Value constructors, re-exported for convenience.
+var (
+	NewSet   = value.NewSet
+	NewTuple = value.NewTuple
+	EmptySet = value.EmptySet
+)
+
+// Int returns an integer value.
+func Int(i int64) Value { return value.Int(i) }
+
+// Sym returns a symbol (string) value.
+func Sym(s string) Value { return value.String(s) }
+
+// Algebra layer.
+type (
+	// DB is a database: named finite sets.
+	DB = algebra.DB
+	// Expr is a set-valued algebra expression.
+	Expr = algebra.Expr
+	// Budget caps fixpoint iteration and set sizes during evaluation.
+	Budget = algebra.Budget
+	// Program is an algebra= program: a list of defining equations.
+	Program = core.Program
+	// Def is one defining equation of an algebra= program.
+	Def = core.Def
+	// Result is the valid interpretation of an algebra= program: lower and
+	// upper bounds for every defined set.
+	Result = core.Result
+	// Script is a parsed algebra= script: database, program and queries.
+	Script = parse.Script
+)
+
+// ParseScript parses an algebra= script (see internal/algebra/parse for the
+// grammar): `rel name = {...};` statements populate the database, `def`
+// statements the program, `query` statements the query list.
+func ParseScript(src string) (*Script, error) { return parse.ParseScript(src) }
+
+// ParseExpr parses a single algebra expression.
+func ParseExpr(src string) (Expr, error) { return parse.ParseExpr(src) }
+
+// EvalScript evaluates the script's program on its database under the valid
+// semantics with the default budget.
+func EvalScript(s *Script) (*Result, error) {
+	return core.EvalValid(s.Program, s.DB, algebra.Budget{})
+}
+
+// EvalValid evaluates an algebra= program on a database under the valid
+// semantics: the Section 2.2 alternating computation lifted to sets.
+func EvalValid(p *Program, db DB, budget Budget) (*Result, error) {
+	return core.EvalValid(p, db, budget)
+}
+
+// EvalExpr evaluates a non-recursive algebra / IFP-algebra expression
+// against a database with the default budget.
+func EvalExpr(e Expr, db DB) (Set, error) { return algebra.Eval(e, db) }
+
+// Deductive layer.
+type (
+	// DatalogProgram is a deductive program: rules and facts.
+	DatalogProgram = datalog.Program
+	// Interp is a three-valued interpretation (true/false/undefined atoms).
+	Interp = semantics.Interp
+	// Semantics selects an evaluation semantics.
+	Semantics = semantics.Semantics
+	// Fact is a ground atom.
+	Fact = datalog.Fact
+)
+
+// The available semantics for EvalDatalog.
+const (
+	SemMinimal      = semantics.SemMinimal
+	SemStratified   = semantics.SemStratified
+	SemInflationary = semantics.SemInflationary
+	SemWellFounded  = semantics.SemWellFounded
+	SemValid        = semantics.SemValid
+)
+
+// ParseDatalog parses a deductive program:
+//
+//	win(X) :- move(X, Y), not win(Y).
+func ParseDatalog(src string) (*DatalogProgram, error) { return datalog.ParseProgram(src) }
+
+// EvalDatalog grounds and evaluates a deductive program under the chosen
+// semantics with default budgets.
+func EvalDatalog(p *DatalogProgram, sem Semantics) (*Interp, error) {
+	return semantics.Eval(p, sem, ground.Budget{})
+}
+
+// CheckSafe reports whether every rule is safe per Definition 4.1 (range
+// formulas); safe programs are domain independent and translatable to
+// algebra= (Proposition 6.1).
+func CheckSafe(p *DatalogProgram) error { return datalog.CheckProgramSafe(p) }
+
+// IsStratified reports whether the program admits a stratification.
+func IsStratified(p *DatalogProgram) bool { return datalog.IsStratified(p) }
+
+// Translations (the paper's constructive equivalences).
+
+// ToDeduction translates an algebra= program to an equivalent deductive
+// program under the valid semantics (Proposition 5.4).
+func ToDeduction(p *Program) (*DatalogProgram, error) { return translate.CoreToDatalog(p) }
+
+// ToAlgebra translates a safe deductive program to an equivalent algebra=
+// program plus its extracted database (Proposition 6.1).
+func ToAlgebra(p *DatalogProgram) (*Program, DB, error) { return translate.DatalogToCore(p) }
+
+// ToPositiveIFP translates a stratified safe program to a positive
+// IFP-algebra program (Theorem 4.3).
+func ToPositiveIFP(p *DatalogProgram) (*Program, DB, error) {
+	return translate.StratifiedToPositiveIFP(p)
+}
+
+// StepIndex applies the Proposition 5.2 transformation: valid evaluation of
+// the result replays the inflationary evaluation of p, for any bound at
+// least the number of inflationary steps.
+func StepIndex(p *DatalogProgram, bound int64) *DatalogProgram {
+	return translate.StepIndex(p, bound)
+}
+
+// StableSets evaluates an algebra= program under the stable-model reading
+// (the paper's concluding remark made executable): one map per stable model,
+// giving each defined set's content. maxUndef bounds the residual search.
+func StableSets(p *Program, db DB, maxUndef int) ([]map[string]Set, error) {
+	return translate.StableSets(p, db, maxUndef)
+}
+
+// WellFoundedSets evaluates an algebra= program under the well-founded
+// reading, returning certain and possible bounds per defined set.
+func WellFoundedSets(p *Program, db DB) (lower, upper map[string]Set, err error) {
+	return translate.WellFoundedSets(p, db)
+}

@@ -1,0 +1,118 @@
+package algrec_test
+
+import (
+	"testing"
+
+	"algrec"
+)
+
+// TestFacadeWinGame drives the complete public API surface on the paper's
+// Example 3, the same flow as examples/quickstart.
+func TestFacadeWinGame(t *testing.T) {
+	script, err := algrec.ParseScript(`
+rel move = {(a, b), (b, c), (b, d)};
+def win = map(diff(move, product(map(move, \x -> x.1), win)), \x -> x.1);
+query win;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := algrec.EvalScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WellDefined() {
+		t.Error("acyclic game should be well defined")
+	}
+	if got := res.Set("win"); got.String() != "{b}" {
+		t.Errorf("win = %v", got)
+	}
+	if res.Member("win", algrec.Sym("b")).String() != "true" {
+		t.Error("MEM(b, win) should be true")
+	}
+	if res.Member("win", algrec.Sym("a")).String() != "false" {
+		t.Error("MEM(a, win) should be false")
+	}
+}
+
+func TestFacadeDatalogAndTranslations(t *testing.T) {
+	prog, err := algrec.ParseDatalog(`
+move(a, a). move(a, b).
+win(X) :- move(X, Y), not win(Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := algrec.CheckSafe(prog); err != nil {
+		t.Fatal(err)
+	}
+	if algrec.IsStratified(prog) {
+		t.Error("win game is not stratified")
+	}
+	in, err := algrec.EvalDatalog(prog, algrec.SemValid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(in.TrueFacts("win")); got != 1 {
+		t.Errorf("|win| = %d, want 1", got)
+	}
+
+	cp, db, err := algrec.ToAlgebra(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := algrec.EvalValid(cp, db, algrec.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Set("win"); got.String() != "{a}" {
+		t.Errorf("translated win = %v", got)
+	}
+	back, err := algrec.ToDeduction(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rules) == 0 {
+		t.Error("round-trip produced empty program")
+	}
+
+	// Step-index transform: inflationary result in valid clothing.
+	si := algrec.StepIndex(prog, 8)
+	in2, err := algrec.EvalDatalog(si, algrec.SemValid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.CountUndef() != 0 {
+		t.Error("step-indexed program should be two-valued")
+	}
+
+	// Stratified translation rejects the win game.
+	if _, _, err := algrec.ToPositiveIFP(prog); err == nil {
+		t.Error("ToPositiveIFP should reject a non-stratified program")
+	}
+}
+
+func TestFacadeValues(t *testing.T) {
+	s := algrec.NewSet(algrec.Int(2), algrec.Int(1), algrec.Int(2))
+	if s.Len() != 2 {
+		t.Errorf("set = %v", s)
+	}
+	tp := algrec.NewTuple(algrec.Sym("a"), algrec.Int(1))
+	if tp.String() != "(a, 1)" {
+		t.Errorf("tuple = %v", tp)
+	}
+	if !algrec.EmptySet.IsEmpty() {
+		t.Error("EmptySet not empty")
+	}
+	e, err := algrec.ParseExpr(`union({1}, {2})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := algrec.EvalExpr(e, algrec.DB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "{1, 2}" {
+		t.Errorf("EvalExpr = %v", got)
+	}
+}

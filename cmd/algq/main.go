@@ -1,0 +1,157 @@
+// Command algq evaluates an algebra= script: database relations, recursive
+// definitions, and queries, under the valid-model semantics (or the
+// inflationary reading with -inflationary, or the stable-model reading with
+// -stable).
+//
+// Usage:
+//
+//	algq [-inflationary | -stable] [-defs] [file]
+//
+// For each `query` statement the certain answer is printed; elements whose
+// membership is undefined (the program is not well defined on this
+// database) are reported separately. With -defs every defined constant is
+// printed too.
+//
+// Example (the paper's Example 3):
+//
+//	$ algq <<'EOF'
+//	rel move = {(a, b), (b, c), (b, d)};
+//	def win = map(diff(move, product(map(move, \x -> x.1), win)), \x -> x.1);
+//	query win;
+//	EOF
+//	query at 4:7 = {b}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"algrec/internal/algebra"
+	"algrec/internal/algebra/parse"
+	"algrec/internal/core"
+	"algrec/internal/translate"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "algq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("algq", flag.ContinueOnError)
+	inflationary := fs.Bool("inflationary", false, "use the inflationary reading of the equations instead of the valid semantics")
+	stable := fs.Bool("stable", false, "enumerate the stable-model readings instead of the valid semantics")
+	defs := fs.Bool("defs", false, "print every defined constant, not only queries")
+	maxUndef := fs.Int("max-undef", 24, "stable: maximum residual size to search")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inflationary && *stable {
+		return fmt.Errorf("-inflationary and -stable are mutually exclusive")
+	}
+
+	src, err := readInput(fs.Arg(0), stdin)
+	if err != nil {
+		return err
+	}
+	script, err := parse.ParseScript(src)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *stable:
+		models, err := translate.StableSets(script.Program, script.DB, *maxUndef)
+		if err != nil {
+			return err
+		}
+		if len(models) == 0 {
+			fmt.Fprintln(stdout, "% no stable readings")
+			return nil
+		}
+		for i, m := range models {
+			fmt.Fprintf(stdout, "%% stable reading %d of %d\n", i+1, len(models))
+			for _, d := range script.Program.Defs {
+				if len(d.Params) == 0 {
+					fmt.Fprintf(stdout, "%s = %s\n", d.Name, m[d.Name])
+				}
+			}
+		}
+		return nil
+	case *inflationary:
+		sets, err := core.EvalInflationary(script.Program, script.DB, algebra.Budget{})
+		if err != nil {
+			return err
+		}
+		if *defs || len(script.Queries) == 0 {
+			for _, d := range script.Program.Defs {
+				if len(d.Params) > 0 {
+					continue
+				}
+				fmt.Fprintf(stdout, "%s = %s\n", d.Name, sets[d.Name])
+			}
+		}
+		for _, q := range script.Queries {
+			db := script.DB.Clone()
+			for name, s := range sets {
+				db[name] = s
+			}
+			got, err := algebra.Eval(q.Expr, db)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%s = %s\n", q.Src, got)
+		}
+		return nil
+	}
+
+	res, err := core.EvalValid(script.Program, script.DB, algebra.Budget{})
+	if err != nil {
+		return err
+	}
+	if !res.WellDefined() {
+		fmt.Fprintln(stdout, "% warning: the program is not well defined on this database (no initial valid model);")
+		fmt.Fprintln(stdout, "% undefined memberships are reported per set below")
+	}
+	if *defs || len(script.Queries) == 0 {
+		for _, d := range script.Program.Defs {
+			if len(d.Params) > 0 {
+				continue
+			}
+			fmt.Fprintf(stdout, "%s = %s", d.Name, res.Set(d.Name))
+			if u := res.UndefElems(d.Name); !u.IsEmpty() {
+				fmt.Fprintf(stdout, "  %% undefined: %s", u)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+	for _, q := range script.Queries {
+		lo, err := res.QueryLower(q.Expr)
+		if err != nil {
+			return err
+		}
+		up, err := res.QueryUpper(q.Expr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s = %s", q.Src, lo)
+		if diff := up.Diff(lo); !diff.IsEmpty() {
+			fmt.Fprintf(stdout, "  %% undefined: %s", diff)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+func readInput(path string, stdin io.Reader) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const winScript = `
+rel move = {(a, b), (b, c), (b, d)};
+def win = map(diff(move, product(map(move, \x -> x.1), win)), \x -> x.1);
+query win;
+`
+
+func runAlgq(t *testing.T, args []string, input string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, strings.NewReader(input), &out)
+	return out.String(), err
+}
+
+func TestRunValidQuery(t *testing.T) {
+	out, err := runAlgq(t, nil, winScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "= {b}") {
+		t.Errorf("win query output:\n%s", out)
+	}
+}
+
+func TestRunUndefinedWarning(t *testing.T) {
+	out, err := runAlgq(t, []string{"-defs"}, `
+rel move = {(a, a)};
+def win = map(diff(move, product(map(move, \x -> x.1), win)), \x -> x.1);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "not well defined") {
+		t.Errorf("missing warning:\n%s", out)
+	}
+	if !strings.Contains(out, "undefined: {a}") {
+		t.Errorf("missing undefined set:\n%s", out)
+	}
+}
+
+func TestRunInflationary(t *testing.T) {
+	out, err := runAlgq(t, []string{"-inflationary"}, `
+def s = diff({a}, s);
+query s;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflationary reading of S = {a} − S gives {a} (the IFP behaviour).
+	if !strings.Contains(out, "= {a}") {
+		t.Errorf("inflationary output:\n%s", out)
+	}
+}
+
+func TestRunStable(t *testing.T) {
+	out, err := runAlgq(t, []string{"-stable"}, `
+rel move = {(a, b), (b, a)};
+def win = map(diff(move, product(map(move, \x -> x.1), win)), \x -> x.1);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stable reading 1 of 2") {
+		t.Errorf("stable output:\n%s", out)
+	}
+	if !strings.Contains(out, "win = {a}") || !strings.Contains(out, "win = {b}") {
+		t.Errorf("stable models missing:\n%s", out)
+	}
+	// no stable readings
+	out2, err := runAlgq(t, []string{"-stable"}, "def s = diff({a}, s);\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "% no stable readings") {
+		t.Errorf("odd loop output:\n%s", out2)
+	}
+}
+
+func TestRunDefsWithoutQueries(t *testing.T) {
+	out, err := runAlgq(t, nil, "def q = union({1}, {2});\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "q = {1, 2}") {
+		t.Errorf("defs output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := runAlgq(t, nil, "rel r = 5;"); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if _, err := runAlgq(t, []string{"-inflationary", "-stable"}, "def q = {1};"); err == nil {
+		t.Error("conflicting flags not surfaced")
+	}
+	if _, err := runAlgq(t, []string{"no-such-file.alg"}, ""); err == nil {
+		t.Error("missing file not surfaced")
+	}
+}

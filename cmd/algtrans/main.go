@@ -1,0 +1,134 @@
+// Command algtrans applies the paper's constructive translations between
+// the deductive and algebraic paradigms and prints the result.
+//
+// Usage:
+//
+//	algtrans -mode alg2dlog    [file]   algebra= script  -> deductive program (Prop 5.4)
+//	algtrans -mode dlog2alg    [file]   safe deduction   -> algebra= script  (Prop 6.1)
+//	algtrans -mode strat2ifp   [file]   stratified       -> positive IFP-algebra (Thm 4.3)
+//	algtrans -mode stepindex -bound N [file]  any program -> step-indexed program (Prop 5.2)
+//	algtrans -mode elimifp     [file]   IFP query script -> IFP-free algebra= (Thm 3.5)
+//
+// Input comes from the file argument or standard input; algebra= scripts use
+// the algq syntax, deductive programs the dlog syntax. For -mode elimifp the
+// script must contain exactly one `query` statement (the IFP-algebra query
+// to eliminate); the output program's `ifpresult` definition holds its
+// value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"algrec/internal/algebra/parse"
+	"algrec/internal/datalog"
+	"algrec/internal/translate"
+	"algrec/internal/value"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "algtrans:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("algtrans", flag.ContinueOnError)
+	mode := fs.String("mode", "", "translation: alg2dlog, dlog2alg, strat2ifp, stepindex, or elimifp")
+	bound := fs.Int64("bound", 64, "stepindex: index bound (must be at least the inflationary step count)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src, err := readInput(fs.Arg(0), stdin)
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "alg2dlog":
+		script, err := parse.ParseScript(src)
+		if err != nil {
+			return err
+		}
+		prog, err := translate.CoreToDatalog(script.Program)
+		if err != nil {
+			return err
+		}
+		prog.AddFacts(translate.DBFacts(script.DB)...)
+		fmt.Fprint(stdout, prog.String())
+	case "dlog2alg":
+		p, err := datalog.ParseProgram(src)
+		if err != nil {
+			return err
+		}
+		cp, db, err := translate.DatalogToCore(p)
+		if err != nil {
+			return err
+		}
+		printDB(stdout, db)
+		fmt.Fprint(stdout, cp.String())
+	case "strat2ifp":
+		p, err := datalog.ParseProgram(src)
+		if err != nil {
+			return err
+		}
+		cp, db, err := translate.StratifiedToPositiveIFP(p)
+		if err != nil {
+			return err
+		}
+		printDB(stdout, db)
+		fmt.Fprint(stdout, cp.String())
+	case "stepindex":
+		p, err := datalog.ParseProgram(src)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, translate.StepIndex(p, *bound).String())
+	case "elimifp":
+		script, err := parse.ParseScript(src)
+		if err != nil {
+			return err
+		}
+		if len(script.Queries) != 1 {
+			return fmt.Errorf("-mode elimifp needs exactly one query statement, got %d", len(script.Queries))
+		}
+		if len(script.Program.Defs) != 0 {
+			return fmt.Errorf("-mode elimifp operates on a plain IFP-algebra query; the script must not contain definitions")
+		}
+		cp, db, result, err := translate.EliminateIFP(script.Queries[0].Expr, script.DB)
+		if err != nil {
+			return err
+		}
+		printDB(stdout, db)
+		fmt.Fprint(stdout, cp.String())
+		fmt.Fprintf(stdout, "query %s;\n", result)
+	default:
+		return fmt.Errorf("unknown -mode %q (want alg2dlog, dlog2alg, strat2ifp, stepindex, or elimifp)", *mode)
+	}
+	return nil
+}
+
+func printDB(w io.Writer, db map[string]value.Set) {
+	names := make([]string, 0, len(db))
+	for n := range db {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "rel %s = %s;\n", n, db[n])
+	}
+}
+
+func readInput(path string, stdin io.Reader) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"algrec/internal/algebra"
+	"algrec/internal/algebra/parse"
+	"algrec/internal/core"
+	"algrec/internal/datalog"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/semantics"
+	"algrec/internal/value"
+)
+
+func runTrans(t *testing.T, args []string, input string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, strings.NewReader(input), &out)
+	return out.String(), err
+}
+
+const winDatalog = "move(a, a). move(a, b).\nwin(X) :- move(X, Y), not win(Y).\n"
+
+// TestRoundTripDlog2Alg: the printed translation re-parses and evaluates to
+// the same valid model as the input program — the whole CLI surface is
+// semantics-preserving, not just the in-memory API.
+func TestRoundTripDlog2Alg(t *testing.T) {
+	out, err := runTrans(t, []string{"-mode", "dlog2alg"}, winDatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := parse.ParseScript(out)
+	if err != nil {
+		t.Fatalf("translated output does not re-parse: %v\n%s", err, out)
+	}
+	res, err := core.EvalValid(script.Program, script.DB, algebra.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := datalog.MustParse(winDatalog)
+	in, err := semantics.Eval(p, semantics.SemValid, ground.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []value.Value
+	for _, f := range in.TrueFacts("win") {
+		want = append(want, f.Args[0])
+	}
+	if !value.Equal(res.Set("win"), value.NewSet(want...)) {
+		t.Errorf("round trip: %v vs %v", res.Set("win"), want)
+	}
+}
+
+func TestRoundTripAlg2Dlog(t *testing.T) {
+	out, err := runTrans(t, []string{"-mode", "alg2dlog"}, `
+rel move = {(a, b), (b, c)};
+def win = map(diff(move, product(map(move, \x -> x.1), win)), \x -> x.1);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := datalog.ParseProgram(out)
+	if err != nil {
+		t.Fatalf("translated output does not re-parse: %v\n%s", err, out)
+	}
+	in, err := semantics.Eval(p, semantics.SemValid, ground.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := in.TrueFacts("win")
+	if len(wins) != 1 || wins[0].Key() != "win(b)" {
+		t.Errorf("translated program win = %v", wins)
+	}
+}
+
+func TestStrat2IFP(t *testing.T) {
+	out, err := runTrans(t, []string{"-mode", "strat2ifp"}, `
+e(1, 2). n(1). n(2). n(3).
+r(X) :- e(1, X).
+un(X) :- n(X), not r(X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := parse.ParseScript(out)
+	if err != nil {
+		t.Fatalf("strat2ifp output does not re-parse: %v\n%s", err, out)
+	}
+	res, err := core.EvalValid(script.Program, script.DB, algebra.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(res.Set("un"), value.NewSet(value.Int(1), value.Int(3))) {
+		t.Errorf("un = %v", res.Set("un"))
+	}
+}
+
+func TestStepIndexMode(t *testing.T) {
+	out, err := runTrans(t, []string{"-mode", "stepindex", "-bound", "4"}, "r(a).\nq(X) :- r(X), not q(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "q__s(plus(I__, 1), X)") {
+		t.Errorf("stepindex output:\n%s", out)
+	}
+	p, err := datalog.ParseProgram(out)
+	if err != nil {
+		t.Fatalf("stepindex output does not re-parse: %v", err)
+	}
+	in, err := semantics.Eval(p, semantics.SemValid, ground.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.TruthOf(datalog.Fact{Pred: "q", Args: []value.Value{value.String("a")}}); got != semantics.True {
+		t.Errorf("q(a) = %v after step indexing", got)
+	}
+}
+
+func TestElimIFP(t *testing.T) {
+	out, err := runTrans(t, []string{"-mode", "elimifp"}, `
+query ifp(x, diff({a}, x));
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := parse.ParseScript(out)
+	if err != nil {
+		t.Fatalf("elimifp output does not re-parse: %v\n%s", err, out)
+	}
+	res, err := core.EvalValid(script.Program, script.DB, algebra.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(res.Set("ifpresult"), value.NewSet(value.String("a"))) {
+		t.Errorf("ifpresult = %v, want {a}", res.Set("ifpresult"))
+	}
+	if strings.Contains(out, "ifp(") {
+		t.Error("elimifp output still contains an IFP operator")
+	}
+}
+
+func TestTransErrors(t *testing.T) {
+	cases := [][2]string{
+		{"", "unknown -mode"},
+		{"nosuchmode", "unknown -mode"},
+	}
+	for _, c := range cases {
+		if _, err := runTrans(t, []string{"-mode", c[0]}, "p.\n"); err == nil || !strings.Contains(err.Error(), c[1]) {
+			t.Errorf("mode %q: got %v", c[0], err)
+		}
+	}
+	if _, err := runTrans(t, []string{"-mode", "dlog2alg"}, "q(X) :- not r(X).\n"); err == nil {
+		t.Error("unsafe program not surfaced")
+	}
+	if _, err := runTrans(t, []string{"-mode", "strat2ifp"}, winDatalog); err == nil {
+		t.Error("non-stratified program not surfaced")
+	}
+	if _, err := runTrans(t, []string{"-mode", "elimifp"}, "def d = {1};"); err == nil {
+		t.Error("elimifp without query not surfaced")
+	}
+	if _, err := runTrans(t, []string{"-mode", "elimifp"}, "def d = {1}; query d;"); err == nil {
+		t.Error("elimifp with definitions not surfaced")
+	}
+}

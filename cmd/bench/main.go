@@ -1,0 +1,47 @@
+// Command bench runs the experiment suite (DESIGN.md's E1–E10 and P1–P3)
+// and prints one table per experiment. With -markdown the output is the
+// GitHub-flavored markdown recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	bench [-scale N] [-markdown] [-only E9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"algrec/internal/expt"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload scale factor")
+	markdown := flag.Bool("markdown", false, "emit markdown tables for EXPERIMENTS.md")
+	only := flag.String("only", "", "run a single experiment by id (e.g. E9)")
+	flag.Parse()
+
+	failed := false
+	for _, s := range expt.DefaultSuites(*scale) {
+		if *only != "" && s.ID != *only {
+			continue
+		}
+		tbl, err := s.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", s.ID, err)
+			failed = true
+			continue
+		}
+		if *markdown {
+			fmt.Print(tbl.Markdown())
+		} else {
+			fmt.Println(tbl)
+		}
+		if !tbl.OK {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

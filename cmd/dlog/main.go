@@ -1,0 +1,123 @@
+// Command dlog evaluates a deductive program under a chosen semantics and
+// prints the resulting relations.
+//
+// Usage:
+//
+//	dlog [-semantics valid|wellfounded|stable|inflationary|stratified|minimal]
+//	     [-pred name] [-undef] [file]
+//
+// The program is read from the file argument or standard input. With
+// -semantics stable, every stable model is printed. By default all derived
+// predicates are printed; -pred restricts the output, and -undef also lists
+// atoms whose truth is undefined in three-valued semantics.
+//
+// Example (the paper's Example 3 game on a cyclic MOVE):
+//
+//	$ echo 'move(a,a). move(a,b). win(X) :- move(X,Y), not win(Y).' | dlog -undef
+//	win(a).
+//	% undefined: (none)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"algrec/internal/datalog"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/semantics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dlog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dlog", flag.ContinueOnError)
+	semName := fs.String("semantics", "valid", "evaluation semantics: minimal, stratified, inflationary, wellfounded, valid, or stable")
+	pred := fs.String("pred", "", "print only this predicate")
+	undef := fs.Bool("undef", false, "also print undefined atoms")
+	maxUndef := fs.Int("max-undef", 24, "stable: maximum residual size to search")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src, err := readInput(fs.Arg(0), stdin)
+	if err != nil {
+		return err
+	}
+	p, err := datalog.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+
+	if *semName == "stable" {
+		g, err := ground.Ground(p, ground.Budget{})
+		if err != nil {
+			return err
+		}
+		models, err := semantics.NewEngine(g).StableModels(*maxUndef)
+		if err != nil {
+			return err
+		}
+		if len(models) == 0 {
+			fmt.Fprintln(stdout, "% no stable models")
+			return nil
+		}
+		for i, m := range models {
+			fmt.Fprintf(stdout, "%% stable model %d of %d\n", i+1, len(models))
+			printInterp(stdout, p, m, *pred, false)
+		}
+		return nil
+	}
+
+	sem, err := semantics.ParseSemantics(*semName)
+	if err != nil {
+		return err
+	}
+	in, err := semantics.Eval(p, sem, ground.Budget{})
+	if err != nil {
+		return err
+	}
+	printInterp(stdout, p, in, *pred, *undef)
+	return nil
+}
+
+func printInterp(w io.Writer, p *datalog.Program, in *semantics.Interp, pred string, undef bool) {
+	preds := p.IDB()
+	if pred != "" {
+		preds = []string{pred}
+	}
+	sort.Strings(preds)
+	for _, q := range preds {
+		for _, f := range in.TrueFacts(q) {
+			fmt.Fprintln(w, f.Key()+".")
+		}
+	}
+	if undef {
+		any := false
+		for _, q := range preds {
+			for _, f := range in.UndefFacts(q) {
+				fmt.Fprintln(w, "% undefined: "+f.Key())
+				any = true
+			}
+		}
+		if !any {
+			fmt.Fprintln(w, "% undefined: (none)")
+		}
+	}
+}
+
+func readInput(path string, stdin io.Reader) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

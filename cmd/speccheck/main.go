@@ -1,0 +1,151 @@
+// Command speccheck decides whether a constant-only specification with
+// generalized conditional equations has an initial valid model — the
+// decidable fragment of Proposition 2.3(2).
+//
+// Input syntax (file argument or standard input):
+//
+//	consts a b c;
+//	a != b -> a = c;
+//	a != c -> a = b;
+//
+// Each non-consts line is a clause `cond, cond, ... -> a = b;` or an
+// unconditional `a = b;`. The command prints all models, the valid
+// interpretation, the valid models, and the initial valid model or NONE.
+// The example above is the paper's Example 2 and prints NONE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"algrec/internal/spec/validspec"
+)
+
+func main() {
+	flag.Parse()
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cs, err := parseSpec(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	models, err := cs.Models()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("constants: %s\n", strings.Join(cs.Consts, ", "))
+	fmt.Printf("models (%d):\n", len(models))
+	for _, m := range models {
+		fmt.Printf("  %s\n", cs.Render(m))
+	}
+	T, U, err := cs.ValidInterpretation()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("valid interpretation: certainly-equal %s, possibly-equal %s\n", cs.Render(T), cs.Render(U))
+	valid, err := cs.ValidModels()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("valid models (%d):\n", len(valid))
+	for _, m := range valid {
+		fmt.Printf("  %s\n", cs.Render(m))
+	}
+	m, ok, err := cs.InitialValidModel()
+	if err != nil {
+		fatal(err)
+	}
+	if ok {
+		fmt.Printf("initial valid model: %s\n", cs.Render(m))
+	} else {
+		fmt.Println("initial valid model: NONE")
+	}
+}
+
+// parseSpec parses the tiny speccheck syntax described in the package
+// comment.
+func parseSpec(src string) (*validspec.ConstSpec, error) {
+	cs := &validspec.ConstSpec{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "%"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		line = strings.TrimSuffix(line, ";")
+		if rest, ok := strings.CutPrefix(line, "consts "); ok {
+			cs.Consts = append(cs.Consts, strings.Fields(rest)...)
+			continue
+		}
+		var condPart, conclPart string
+		if i := strings.Index(line, "->"); i >= 0 {
+			condPart, conclPart = line[:i], line[i+2:]
+		} else {
+			conclPart = line
+		}
+		cl := validspec.Clause{}
+		if strings.TrimSpace(condPart) != "" {
+			for _, c := range strings.Split(condPart, ",") {
+				lit, err := parseLit(c)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+				}
+				cl.Conds = append(cl.Conds, lit)
+			}
+		}
+		concl, err := parseLit(conclPart)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		if concl.Negated {
+			return nil, fmt.Errorf("line %d: a clause conclusion must be an equality", lineNo+1)
+		}
+		cl.A, cl.B = concl.A, concl.B
+		cs.Clauses = append(cs.Clauses, cl)
+	}
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+func parseLit(s string) (validspec.Lit, error) {
+	if i := strings.Index(s, "!="); i >= 0 {
+		a, b := strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+2:])
+		if a == "" || b == "" {
+			return validspec.Lit{}, fmt.Errorf("bad condition %q", s)
+		}
+		return validspec.Lit{A: a, B: b, Negated: true}, nil
+	}
+	if i := strings.Index(s, "="); i >= 0 {
+		a, b := strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:])
+		if a == "" || b == "" {
+			return validspec.Lit{}, fmt.Errorf("bad condition %q", s)
+		}
+		return validspec.Lit{A: a, B: b}, nil
+	}
+	return validspec.Lit{}, fmt.Errorf("bad condition %q (want a = b or a != b)", s)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "speccheck:", err)
+	os.Exit(1)
+}

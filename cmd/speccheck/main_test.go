@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecExample2(t *testing.T) {
+	cs, err := parseSpec(`
+% Example 2
+consts a b c;
+a != b -> a = c;
+a != c -> a = b;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Consts) != 3 || len(cs.Clauses) != 2 {
+		t.Fatalf("parsed %d consts, %d clauses", len(cs.Consts), len(cs.Clauses))
+	}
+	if !cs.Clauses[0].Conds[0].Negated || cs.Clauses[0].A != "a" || cs.Clauses[0].B != "c" {
+		t.Errorf("clause 0 = %+v", cs.Clauses[0])
+	}
+	if _, ok, err := cs.InitialValidModel(); err != nil || ok {
+		t.Errorf("Example 2 should have no initial valid model: %v %v", ok, err)
+	}
+}
+
+func TestParseSpecForms(t *testing.T) {
+	cs, err := parseSpec("consts x y;\nx = y;\nx = y, x != y -> y = x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Clauses) != 2 || len(cs.Clauses[1].Conds) != 2 {
+		t.Fatalf("clauses = %+v", cs.Clauses)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"consts a;\nb = a;", "undeclared constant"},
+		{"consts a b;\na -> a = b;", "bad condition"},
+		{"consts a b;\na = b -> a != b;", "conclusion must be an equality"},
+		{"consts a b;\n= b;", "bad condition"},
+		{"consts a a;", "duplicate constant"},
+	}
+	for _, c := range cases {
+		_, err := parseSpec(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("parseSpec(%q): got %v, want error containing %q", c.src, err, c.wantSub)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// The even-numbers set of the paper's Examples 1 and 3: the recursive
+// equation S^e = {0} ∪ MAP_{+2}(S^e) defines the (infinite) set of even
+// naturals. On a bounded prefix of the naturals the valid interpretation is
+// two-valued: MEM answers TRUE for every even number and FALSE for every
+// odd one — the totality that required negation (the MEM(x,y) ≠ T → MEM(x,y)
+// = F equation) in the specification framework of Section 2.2.
+//
+// Without the bound the fixed point is infinite and evaluation stops with a
+// budget error rather than diverging — the executable face of the paper's
+// observation that membership is not recursively computable in general.
+//
+// Run with:
+//
+//	go run ./examples/evennumbers
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"algrec"
+	"algrec/internal/algebra"
+	"algrec/internal/core"
+)
+
+func main() {
+	script, err := algrec.ParseScript(`
+def evens = select(union({0}, map(evens, \x -> x + 2)), \x -> x < 40);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := algrec.EvalScript(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("S^e below 40:", res.Set("evens"))
+	fmt.Println("well defined:", res.WellDefined())
+	for _, n := range []int64{0, 7, 12, 39} {
+		fmt.Printf("MEM(%d, S^e) = %v\n", n, res.Member("evens", algrec.Int(n)))
+	}
+
+	// The unbounded equation: the fixed point is the infinite set of evens.
+	// The evaluator detects the divergence via its budget.
+	unbounded, err := algrec.ParseScript(`
+def evens = union({0}, map(evens, \x -> x + 2));
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = core.EvalValid(unbounded.Program, unbounded.DB,
+		algrec.Budget{MaxIFPIters: 1000, MaxSetSize: 1000})
+	if errors.Is(err, algebra.ErrBudget) {
+		fmt.Println("\nunbounded S^e:", err)
+	} else {
+		log.Fatalf("expected a budget error, got %v", err)
+	}
+
+	// Proposition 3.4 in action: the equation's body is monotone (no
+	// subtraction of the defined set), so the recursive equation and the
+	// IFP operator applied to the same body coincide.
+	ifpExpr, err := algrec.ParseExpr(`ifp(s, select(union({0}, map(s, \x -> x + 2)), \x -> x < 40))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	viaIFP, err := algrec.EvalExpr(ifpExpr, algrec.DB{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nIFP operator gives the same set:", viaIFP.Compare(res.Set("evens")) == 0)
+}

@@ -1,0 +1,93 @@
+// A tour of the semantics the paper discusses, all on the same program: the
+// WIN game over a MOVE relation with a cycle and an escape. The program is
+// not stratified, so the stratified semantics rejects it; the minimal-model
+// semantics rejects any negation; and the three declarative proposals —
+// inflationary, well-founded/valid, stable — disagree exactly where the
+// theory says they should.
+//
+// Run with:
+//
+//	go run ./examples/semantics
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"algrec"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/semantics"
+)
+
+const src = `
+% an unresolved cycle a <-> b, plus a decided region: c -> d (d has no
+% moves, so d is lost and c is won)
+move(a, b). move(b, a). move(c, d).
+win(X) :- move(X, Y), not win(Y).
+`
+
+func main() {
+	prog, err := algrec.ParseDatalog(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(src)
+	fmt.Println("stratified? ", algrec.IsStratified(prog), " (recursion through negation)")
+	if _, err := algrec.EvalDatalog(prog, algrec.SemStratified); err != nil {
+		fmt.Println("stratified semantics:", err)
+	}
+	if _, err := algrec.EvalDatalog(prog, algrec.SemMinimal); err != nil {
+		var target error = semantics.ErrNotPositive
+		if errors.Is(err, target) {
+			fmt.Println("minimal-model semantics:", err)
+		}
+	}
+	fmt.Println()
+
+	for _, sem := range []algrec.Semantics{algrec.SemInflationary, algrec.SemWellFounded, algrec.SemValid} {
+		in, err := algrec.EvalDatalog(prog, sem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s win true = %v", sem, in.TrueFacts("win"))
+		if u := in.UndefFacts("win"); len(u) > 0 {
+			fmt.Printf("   undefined = %v", u)
+		}
+		fmt.Println()
+	}
+
+	// Stable models: the a<->b cycle branches into two models. Note win(c)
+	// is true and win(d) false in EVERY stable model — the well-founded
+	// model is the skeptical core of the stable models.
+	g, err := ground.Ground(prog, ground.Budget{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := semantics.NewEngine(g).StableModels(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stable        %d models:\n", len(models))
+	for i, m := range models {
+		fmt.Printf("              model %d: win = %v\n", i+1, m.TrueFacts("win"))
+	}
+
+	// The same program as algebra=, under its stable reading (the paper's
+	// concluding remark: the results adjust to other semantics).
+	script, err := algrec.ParseScript(`
+rel move = {(a, b), (b, a), (c, d)};
+def win = map(diff(move, product(map(move, \x -> x.1), win)), \x -> x.1);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sets, err := algrec.StableSets(script.Program, script.DB, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nalgebra= under the stable reading:")
+	for i, m := range sets {
+		fmt.Printf("              model %d: WIN = %v\n", i+1, m["win"])
+	}
+}

@@ -1,0 +1,3 @@
+module algrec
+
+go 1.22

@@ -1,0 +1,231 @@
+package algebra
+
+import (
+	"errors"
+	"fmt"
+
+	"algrec/internal/value"
+)
+
+// Budget caps evaluation work. Because the paper's framework has functions
+// on domains ("the fixed point operator may generate infinite sets"),
+// fixpoint iteration can diverge; the budget turns divergence into a typed
+// error.
+type Budget struct {
+	MaxIFPIters int // maximum iterations of any single IFP (0 = default)
+	MaxSetSize  int // maximum cardinality of any intermediate set (0 = default)
+	MaxDepth    int // maximum Call nesting depth (0 = default)
+	// NoHashJoin disables the σ(×) hash equi-join fast path (see join.go);
+	// used by the A3 ablation benchmark.
+	NoHashJoin bool
+}
+
+// DefaultBudget is used for zero-valued Budget fields.
+var DefaultBudget = Budget{MaxIFPIters: 100_000, MaxSetSize: 5_000_000, MaxDepth: 1_000}
+
+func (b Budget) WithDefaults() Budget {
+	if b.MaxIFPIters <= 0 {
+		b.MaxIFPIters = DefaultBudget.MaxIFPIters
+	}
+	if b.MaxSetSize <= 0 {
+		b.MaxSetSize = DefaultBudget.MaxSetSize
+	}
+	if b.MaxDepth <= 0 {
+		b.MaxDepth = DefaultBudget.MaxDepth
+	}
+	return b
+}
+
+// ErrBudget is wrapped by all budget-exhaustion errors from evaluation.
+var ErrBudget = errors.New("algebra: evaluation budget exceeded")
+
+// DB is a database: named finite sets ("a collection of named sets (every
+// set is a database 'relation')").
+type DB map[string]value.Set
+
+// Clone returns a shallow copy (sets are immutable, so shallow is deep).
+func (db DB) Clone() DB {
+	out := make(DB, len(db))
+	for k, v := range db {
+		out[k] = v
+	}
+	return out
+}
+
+// CallResolver resolves a Call node to a result set. It is an extension
+// hook for embedding the evaluator with externally-defined operations;
+// plain evaluation leaves it nil and rejects Call nodes. Note that algebra=
+// programs do NOT go through this hook: internal/core expands definitions
+// as macros and gives recursive constants their valid-model semantics.
+type CallResolver func(name string, args []value.Set) (value.Set, error)
+
+// Evaluator evaluates algebra expressions against a database.
+type Evaluator struct {
+	DB     DB
+	Budget Budget
+	Call   CallResolver
+
+	depth int
+}
+
+// NewEvaluator returns an evaluator over db with the given budget.
+func NewEvaluator(db DB, budget Budget) *Evaluator {
+	return &Evaluator{DB: db, Budget: budget.WithDefaults()}
+}
+
+// Eval evaluates the expression to a finite set.
+func (ev *Evaluator) Eval(e Expr) (value.Set, error) {
+	return ev.eval(e, nil)
+}
+
+// eval evaluates under local bindings of IFP variables (nil-safe lookup
+// chain kept as a simple map copied on IFP entry — IFP nesting is shallow in
+// practice).
+func (ev *Evaluator) eval(e Expr, local map[string]value.Set) (value.Set, error) {
+	switch ee := e.(type) {
+	case Rel:
+		if s, ok := local[ee.Name]; ok {
+			return s, nil
+		}
+		if s, ok := ev.DB[ee.Name]; ok {
+			return s, nil
+		}
+		return value.Set{}, fmt.Errorf("algebra: unknown relation %q", ee.Name)
+	case Lit:
+		return ee.Set, nil
+	case Union:
+		l, err := ev.eval(ee.L, local)
+		if err != nil {
+			return value.Set{}, err
+		}
+		r, err := ev.eval(ee.R, local)
+		if err != nil {
+			return value.Set{}, err
+		}
+		return ev.checkSize(l.Union(r))
+	case Diff:
+		l, err := ev.eval(ee.L, local)
+		if err != nil {
+			return value.Set{}, err
+		}
+		r, err := ev.eval(ee.R, local)
+		if err != nil {
+			return value.Set{}, err
+		}
+		return l.Diff(r), nil
+	case Product:
+		l, err := ev.eval(ee.L, local)
+		if err != nil {
+			return value.Set{}, err
+		}
+		r, err := ev.eval(ee.R, local)
+		if err != nil {
+			return value.Set{}, err
+		}
+		if l.Len()*r.Len() > ev.Budget.MaxSetSize {
+			return value.Set{}, fmt.Errorf("%w: product of %d x %d elements exceeds MaxSetSize %d", ErrBudget, l.Len(), r.Len(), ev.Budget.MaxSetSize)
+		}
+		return l.Product(r), nil
+	case Select:
+		if prod, isProd := ee.Of.(Product); isProd && !ev.Budget.NoHashJoin {
+			if lks, rks, ok := EquiJoinKeys(ee.Var, ee.Test); ok {
+				l, err := ev.eval(prod.L, local)
+				if err != nil {
+					return value.Set{}, err
+				}
+				r, err := ev.eval(prod.R, local)
+				if err != nil {
+					return value.Set{}, err
+				}
+				out, done, err := HashJoin(l, r, ee.Var, ee.Test, lks, rks, ev.Budget.MaxSetSize)
+				if err != nil {
+					return value.Set{}, err
+				}
+				if done {
+					return out, nil
+				}
+				// a key path failed to apply: fall through to the naive
+				// product so kind errors surface exactly as without the
+				// fast path
+			}
+		}
+		of, err := ev.eval(ee.Of, local)
+		if err != nil {
+			return value.Set{}, err
+		}
+		return of.Select(func(v value.Value) (bool, error) {
+			return EvalTest(ee.Test, FEnv{ee.Var: v})
+		})
+	case Map:
+		of, err := ev.eval(ee.Of, local)
+		if err != nil {
+			return value.Set{}, err
+		}
+		return of.Map(func(v value.Value) (value.Value, error) {
+			return EvalF(ee.Out, FEnv{ee.Var: v})
+		})
+	case IFP:
+		acc := value.EmptySet
+		for iter := 0; ; iter++ {
+			if iter >= ev.Budget.MaxIFPIters {
+				return value.Set{}, fmt.Errorf("%w: IFP did not converge within %d iterations (the fixed point may be an infinite set)", ErrBudget, ev.Budget.MaxIFPIters)
+			}
+			inner := map[string]value.Set{ee.Var: acc}
+			for k, v := range local {
+				if k != ee.Var {
+					inner[k] = v
+				}
+			}
+			step, err := ev.eval(ee.Body, inner)
+			if err != nil {
+				return value.Set{}, err
+			}
+			next, err := ev.checkSize(acc.Union(step))
+			if err != nil {
+				return value.Set{}, err
+			}
+			if next.Len() == acc.Len() {
+				return next, nil
+			}
+			acc = next
+		}
+	case Flip:
+		// Identity on total databases; the annotation only matters to the
+		// three-valued evaluator in internal/core.
+		return ev.eval(ee.E, local)
+	case Call:
+		if ev.Call == nil {
+			return value.Set{}, fmt.Errorf("algebra: call to %q but no definitions are in scope (use internal/core for algebra= programs)", ee.Name)
+		}
+		if ev.depth >= ev.Budget.MaxDepth {
+			return value.Set{}, fmt.Errorf("%w: call nesting exceeded MaxDepth %d", ErrBudget, ev.Budget.MaxDepth)
+		}
+		args := make([]value.Set, len(ee.Args))
+		for i, a := range ee.Args {
+			s, err := ev.eval(a, local)
+			if err != nil {
+				return value.Set{}, err
+			}
+			args[i] = s
+		}
+		ev.depth++
+		out, err := ev.Call(ee.Name, args)
+		ev.depth--
+		return out, err
+	default:
+		panic(fmt.Sprintf("algebra: unknown Expr %T", e))
+	}
+}
+
+func (ev *Evaluator) checkSize(s value.Set) (value.Set, error) {
+	if s.Len() > ev.Budget.MaxSetSize {
+		return value.Set{}, fmt.Errorf("%w: intermediate set of %d elements exceeds MaxSetSize %d", ErrBudget, s.Len(), ev.Budget.MaxSetSize)
+	}
+	return s, nil
+}
+
+// Eval is a convenience wrapper: evaluate e against db with the default
+// budget and no definitions in scope.
+func Eval(e Expr, db DB) (value.Set, error) {
+	return NewEvaluator(db, Budget{}).Eval(e)
+}

@@ -1,0 +1,579 @@
+// Package ground instantiates a deductive program into a ground program: a
+// finite set of propositional rules over interned ground atoms. Every
+// semantics engine in internal/semantics operates on this representation.
+//
+// The instantiation is the standard over-approximation: an atom is considered
+// *possible* if it is derivable when every negative literal is assumed to
+// hold. The ground program contains one propositional rule per rule instance
+// whose positive body consists of possible atoms; negative body atoms are
+// interned whether or not they are possible (atoms with no deriving rules are
+// simply never derived by any semantics, which is the correct behaviour).
+//
+// Because the paper's framework permits interpreted functions on domains
+// (SUCC, +, tup, ...), instantiation may diverge; Budget caps the number of
+// atoms, ground rules, and passes, and Ground returns a *BudgetError when a
+// cap is hit, which callers surface as "unknown within budget" — the
+// executable face of the paper's undecidability results (Propositions 2.3,
+// 3.2 and 6.3).
+package ground
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"algrec/internal/datalog"
+	"algrec/internal/value"
+)
+
+// Budget caps the resources instantiation may consume.
+type Budget struct {
+	MaxAtoms int // maximum number of distinct ground atoms (0 = default)
+	MaxRules int // maximum number of distinct ground rules (0 = default)
+}
+
+// DefaultBudget is used for zero-valued Budget fields.
+var DefaultBudget = Budget{MaxAtoms: 2_000_000, MaxRules: 8_000_000}
+
+func (b Budget) withDefaults() Budget {
+	if b.MaxAtoms <= 0 {
+		b.MaxAtoms = DefaultBudget.MaxAtoms
+	}
+	if b.MaxRules <= 0 {
+		b.MaxRules = DefaultBudget.MaxRules
+	}
+	return b
+}
+
+// BudgetError reports that instantiation exceeded its budget.
+type BudgetError struct {
+	What  string // "atoms" or "rules"
+	Limit int
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("ground: budget exceeded: more than %d %s; the program may define an infinite relation", e.Limit, e.What)
+}
+
+// Rule is a propositional ground rule over atom ids.
+type Rule struct {
+	Head int
+	Pos  []int
+	Neg  []int
+}
+
+// Program is a ground program: interned atoms plus propositional rules.
+type Program struct {
+	atoms  []datalog.Fact
+	index  map[string]int
+	byPred map[string][]int // atom ids per predicate, in interning order
+	Rules  []Rule
+}
+
+// NumAtoms returns the number of interned ground atoms.
+func (g *Program) NumAtoms() int { return len(g.atoms) }
+
+// Atom returns the interned atom with the given id.
+func (g *Program) Atom(id int) datalog.Fact { return g.atoms[id] }
+
+// Lookup returns the id of the given fact and whether it is interned.
+func (g *Program) Lookup(f datalog.Fact) (int, bool) {
+	id, ok := g.index[f.Key()]
+	return id, ok
+}
+
+// AtomsOf returns the ids of all interned atoms of the given predicate.
+func (g *Program) AtomsOf(pred string) []int { return g.byPred[pred] }
+
+// Preds returns all predicate names with interned atoms, sorted.
+func (g *Program) Preds() []string {
+	out := make([]string, 0, len(g.byPred))
+	for p := range g.byPred {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type grounder struct {
+	prog   *Program
+	budget Budget
+	// byPredDerived holds, per predicate, the atoms that have appeared as a
+	// rule head or fact ("possible" atoms) in derivation order;
+	// negative-only atoms live in the table but never in byPredDerived.
+	byPredDerived map[string][]int
+	derived       map[int]bool
+	ruleKeys      map[string]bool
+	// seqOf gives each atom id its position within byPredDerived of its
+	// predicate (-1 before derivation); the delta-driven passes use it to
+	// range-restrict index probe results.
+	seqOf []int
+	// indexes maps a matchMask signature to (projection key -> atom ids in
+	// derivation order); masksByPred lists the masks registered per
+	// predicate so markDerived can maintain the indexes incrementally.
+	indexes     map[string]map[string][]int
+	masksByPred map[string][]matchMask
+}
+
+func (g *grounder) intern(f datalog.Fact) (int, error) {
+	key := f.Key()
+	if id, ok := g.prog.index[key]; ok {
+		return id, nil
+	}
+	if len(g.prog.atoms) >= g.budget.MaxAtoms {
+		return 0, &BudgetError{What: "atoms", Limit: g.budget.MaxAtoms}
+	}
+	id := len(g.prog.atoms)
+	g.prog.atoms = append(g.prog.atoms, f)
+	g.prog.index[key] = id
+	g.prog.byPred[f.Pred] = append(g.prog.byPred[f.Pred], id)
+	g.seqOf = append(g.seqOf, -1)
+	return id, nil
+}
+
+func (g *grounder) markDerived(id int) {
+	if g.derived[id] {
+		return
+	}
+	g.derived[id] = true
+	f := g.prog.atoms[id]
+	g.seqOf[id] = len(g.byPredDerived[f.Pred])
+	g.byPredDerived[f.Pred] = append(g.byPredDerived[f.Pred], id)
+	for _, m := range g.masksByPred[f.Pred] {
+		key, ok := projectKey(f.Args, m.positions)
+		if !ok {
+			continue
+		}
+		g.indexes[m.sig][key] = append(g.indexes[m.sig][key], id)
+	}
+}
+
+func (g *grounder) addRule(head int, pos, neg []int) (bool, error) {
+	sort.Ints(pos)
+	sort.Ints(neg)
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(head))
+	sb.WriteByte('|')
+	for _, p := range pos {
+		sb.WriteString(strconv.Itoa(p))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('|')
+	for _, n := range neg {
+		sb.WriteString(strconv.Itoa(n))
+		sb.WriteByte(',')
+	}
+	key := sb.String()
+	if g.ruleKeys[key] {
+		return false, nil
+	}
+	if len(g.prog.Rules) >= g.budget.MaxRules {
+		return false, &BudgetError{What: "rules", Limit: g.budget.MaxRules}
+	}
+	g.ruleKeys[key] = true
+	g.prog.Rules = append(g.prog.Rules, Rule{Head: head, Pos: pos, Neg: neg})
+	return true, nil
+}
+
+// matchMask describes, for one match step, the argument positions whose
+// values are computable before matching (constants, evaluable function
+// terms, and variables bound by earlier steps). Atoms are indexed by the
+// projection on those positions, turning the scan-and-filter join into an
+// index probe.
+type matchMask struct {
+	positions []int
+	sig       string // index signature: pred|arity|positions
+	// index is the resolved bucket map for sig, filled by registerMasks so
+	// probes need a single map lookup.
+	index map[string][]int
+}
+
+// orderedRule pairs a rule's execution plan with per-match-step index masks.
+type orderedRule struct {
+	plan  datalog.BodyPlan
+	head  datalog.Atom
+	masks []matchMask // indexed like plan.Steps; meaningful for match steps
+}
+
+func maskSig(pred string, arity int, positions []int) string {
+	var sb strings.Builder
+	sb.WriteString(pred)
+	sb.WriteByte('|')
+	sb.WriteString(strconv.Itoa(arity))
+	sb.WriteByte('|')
+	for _, p := range positions {
+		sb.WriteString(strconv.Itoa(p))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// computeMasks derives the match masks for a planned rule by replaying the
+// plan's variable-binding discipline.
+func computeMasks(plan datalog.BodyPlan) []matchMask {
+	bound := map[datalog.Var]bool{}
+	allBound := func(t datalog.Term) bool {
+		for v := range datalog.VarsOfTerm(t) {
+			if !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	masks := make([]matchMask, len(plan.Steps))
+	for i, st := range plan.Steps {
+		switch st.Kind {
+		case datalog.StepMatch:
+			var positions []int
+			for j, a := range st.Atom.Args {
+				if v, isVar := a.(datalog.Var); isVar {
+					if bound[v] {
+						positions = append(positions, j)
+					}
+					continue
+				}
+				// non-variable argument: the planner guarantees evaluability
+				positions = append(positions, j)
+			}
+			if len(positions) > 0 {
+				masks[i] = matchMask{
+					positions: positions,
+					sig:       maskSig(st.Atom.Pred, len(st.Atom.Args), positions),
+				}
+			}
+			for _, a := range st.Atom.Args {
+				if v, isVar := a.(datalog.Var); isVar {
+					bound[v] = true
+				}
+			}
+		case datalog.StepAssign:
+			bound[st.AssignVar] = true
+		case datalog.StepTest:
+			_ = allBound // tests bind nothing
+		}
+	}
+	return masks
+}
+
+// bindFrame is a slice-backed variable binding with O(1) undo; rules have
+// few variables, so linear lookup beats a map by a wide margin in the
+// instantiation hot path.
+type bindFrame struct {
+	vars []datalog.Var
+	vals []value.Value
+}
+
+func (b *bindFrame) lookup(v datalog.Var) (value.Value, bool) {
+	for i := len(b.vars) - 1; i >= 0; i-- {
+		if b.vars[i] == v {
+			return b.vals[i], true
+		}
+	}
+	return nil, false
+}
+
+func (b *bindFrame) push(v datalog.Var, val value.Value) {
+	b.vars = append(b.vars, v)
+	b.vals = append(b.vals, val)
+}
+
+func (b *bindFrame) mark() int { return len(b.vars) }
+
+func (b *bindFrame) reset(n int) {
+	b.vars = b.vars[:n]
+	b.vals = b.vals[:n]
+}
+
+// registerMasks records every distinct index an ordered rule will probe, so
+// markDerived can maintain them incrementally.
+func (g *grounder) registerMasks(or *orderedRule) {
+	for i, st := range or.plan.Steps {
+		if st.Kind != datalog.StepMatch || len(or.masks[i].positions) == 0 {
+			continue
+		}
+		m := or.masks[i]
+		idx, ok := g.indexes[m.sig]
+		if !ok {
+			idx = map[string][]int{}
+			g.indexes[m.sig] = idx
+			m.index = idx
+			g.masksByPred[st.Atom.Pred] = append(g.masksByPred[st.Atom.Pred], m)
+		}
+		or.masks[i].index = idx
+	}
+}
+
+// projectKey builds the index key for a fact's arguments at the mask
+// positions; ok=false when the arity does not cover the mask.
+func projectKey(args []value.Value, positions []int) (string, bool) {
+	var sb strings.Builder
+	for _, p := range positions {
+		if p >= len(args) {
+			return "", false
+		}
+		sb.WriteString(args[p].String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String(), true
+}
+
+// probeKey evaluates the mask positions of a match step's pattern under the
+// current binding.
+func probeKey(atom datalog.Atom, positions []int, b *bindFrame) (string, error) {
+	var sb strings.Builder
+	for _, p := range positions {
+		v, err := datalog.EvalTermFn(atom.Args[p], b.lookup)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(v.String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String(), nil
+}
+
+// enumerate walks the plan steps recursively, backtracking through bind.
+// rng is nil during pass 0. posIDs accumulates the interned ids of matched
+// positive atoms for fire.
+func (g *grounder) enumerate(or orderedRule, si int, bind *bindFrame, posIDs *[]int, rng *ranges, deltaIdx int) error {
+	if si == len(or.plan.Steps) {
+		return g.fire(or, bind, *posIDs)
+	}
+	st := or.plan.Steps[si]
+	switch st.Kind {
+	case datalog.StepMatch:
+		var cands []int
+		mask := or.masks[si]
+		if len(mask.positions) > 0 {
+			key, err := probeKey(st.Atom, mask.positions, bind)
+			if err != nil {
+				return err
+			}
+			cands = mask.index[key]
+		} else {
+			cands = g.byPredDerived[st.Atom.Pred]
+		}
+		lo, hi := 0, len(g.byPredDerived[st.Atom.Pred])
+		if rng != nil {
+			lo, hi = rng.bounds(st.PosIdx, deltaIdx, st.Atom.Pred)
+		}
+		for _, id := range cands {
+			seq := g.seqOf[id]
+			if seq >= hi {
+				break // candidate lists are in derivation order
+			}
+			if seq < lo {
+				continue
+			}
+			f := g.prog.atoms[id]
+			if len(f.Args) != len(st.Atom.Args) {
+				continue
+			}
+			mk := bind.mark()
+			ok, err := matchAtom(st.Atom.Args, f.Args, bind)
+			if err != nil {
+				return err
+			}
+			if ok {
+				*posIDs = append(*posIDs, id)
+				if err := g.enumerate(or, si+1, bind, posIDs, rng, deltaIdx); err != nil {
+					return err
+				}
+				*posIDs = (*posIDs)[:len(*posIDs)-1]
+			}
+			bind.reset(mk)
+		}
+		return nil
+	case datalog.StepAssign:
+		v, err := datalog.EvalTermFn(st.Term, bind.lookup)
+		if err != nil {
+			return err
+		}
+		mk := bind.mark()
+		bind.push(st.AssignVar, v)
+		err = g.enumerate(or, si+1, bind, posIDs, rng, deltaIdx)
+		bind.reset(mk)
+		return err
+	case datalog.StepTest:
+		lv, err := datalog.EvalTermFn(st.Cmp.L, bind.lookup)
+		if err != nil {
+			return err
+		}
+		rv, err := datalog.EvalTermFn(st.Cmp.R, bind.lookup)
+		if err != nil {
+			return err
+		}
+		ok, err := datalog.EvalCmp(st.Cmp.Op, lv, rv)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return g.enumerate(or, si+1, bind, posIDs, rng, deltaIdx)
+	default:
+		panic("ground: unknown step kind")
+	}
+}
+
+// matchAtom matches pattern terms against ground values, extending bind;
+// the caller restores the binding mark on failure or after recursion.
+func matchAtom(pats []datalog.Term, vals []value.Value, bind *bindFrame) (bool, error) {
+	for i, pat := range pats {
+		if v, isVar := pat.(datalog.Var); isVar {
+			if bound, ok := bind.lookup(v); ok {
+				if !value.Equal(bound, vals[i]) {
+					return false, nil
+				}
+				continue
+			}
+			bind.push(v, vals[i])
+			continue
+		}
+		got, err := datalog.EvalTermFn(pat, bind.lookup)
+		if err != nil {
+			return false, err
+		}
+		if !value.Equal(got, vals[i]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// evalAtom instantiates an atom's arguments under the binding.
+func evalAtom(a datalog.Atom, bind *bindFrame) (datalog.Fact, error) {
+	args := make([]value.Value, len(a.Args))
+	for i, t := range a.Args {
+		v, err := datalog.EvalTermFn(t, bind.lookup)
+		if err != nil {
+			return datalog.Fact{}, err
+		}
+		args[i] = v
+	}
+	return datalog.Fact{Pred: a.Pred, Args: args}, nil
+}
+
+// fire records the ground rule for a complete binding.
+func (g *grounder) fire(or orderedRule, bind *bindFrame, posIDs []int) error {
+	head, err := evalAtom(or.head, bind)
+	if err != nil {
+		return err
+	}
+	hid, err := g.intern(head)
+	if err != nil {
+		return err
+	}
+	pos := append([]int(nil), posIDs...)
+	neg := make([]int, 0, len(or.plan.Negs))
+	for _, na := range or.plan.Negs {
+		f, err := evalAtom(na, bind)
+		if err != nil {
+			return err
+		}
+		id, err := g.intern(f)
+		if err != nil {
+			return err
+		}
+		neg = append(neg, id)
+	}
+	if _, err := g.addRule(hid, pos, neg); err != nil {
+		return err
+	}
+	g.markDerived(hid)
+	return nil
+}
+
+// Ground instantiates the program under the given budget.
+func Ground(p *datalog.Program, budget Budget) (*Program, error) {
+	g := &grounder{
+		prog: &Program{
+			index:  map[string]int{},
+			byPred: map[string][]int{},
+		},
+		budget:        budget.withDefaults(),
+		byPredDerived: map[string][]int{},
+		derived:       map[int]bool{},
+		ruleKeys:      map[string]bool{},
+		indexes:       map[string]map[string][]int{},
+		masksByPred:   map[string][]matchMask{},
+	}
+
+	var ordered []orderedRule
+	for _, r := range p.Rules {
+		plan, err := datalog.PlanRule(r)
+		if err != nil {
+			return nil, fmt.Errorf("ground: %w", err)
+		}
+		or := orderedRule{plan: plan, head: r.Head, masks: computeMasks(plan)}
+		g.registerMasks(&or)
+		ordered = append(ordered, or)
+	}
+
+	bind := &bindFrame{}
+	var posIDs []int
+
+	// Pass 0: rules with no positive atoms (facts included) fire once.
+	for _, or := range ordered {
+		if or.plan.NumPos > 0 {
+			continue
+		}
+		if err := g.enumerate(or, 0, bind, &posIDs, nil, -1); err != nil {
+			return nil, err
+		}
+	}
+
+	// Delta-driven passes: a rule instance is enumerated when at least one of
+	// its positive atoms matches an atom derived in the previous pass.
+	prevLen := map[string]int{}
+	for {
+		curLen := map[string]int{}
+		for pred, ids := range g.byPredDerived {
+			curLen[pred] = len(ids)
+		}
+		anyDelta := false
+		for pred, cur := range curLen {
+			if cur > prevLen[pred] {
+				anyDelta = true
+				break
+			}
+		}
+		if !anyDelta {
+			break
+		}
+		for _, or := range ordered {
+			if or.plan.NumPos == 0 {
+				continue
+			}
+			for d := 0; d < or.plan.NumPos; d++ {
+				if err := g.enumerate(or, 0, bind, &posIDs, &ranges{prev: prevLen, cur: curLen}, d); err != nil {
+					return nil, err
+				}
+			}
+		}
+		prevLen = curLen
+	}
+	return g.prog, nil
+}
+
+// ranges restricts, per predicate, which derivation-sequence window each
+// positive literal may match during a delta-driven pass: the literal at
+// deltaIdx matches only last-pass discoveries, earlier literals only older
+// atoms, later literals anything seen so far (the standard semi-naive
+// decomposition avoiding duplicate enumeration).
+type ranges struct {
+	prev, cur map[string]int
+}
+
+func (r *ranges) bounds(posIdx, deltaIdx int, pred string) (lo, hi int) {
+	switch {
+	case posIdx < deltaIdx:
+		return 0, r.prev[pred]
+	case posIdx == deltaIdx:
+		return r.prev[pred], r.cur[pred]
+	default:
+		return 0, r.cur[pred]
+	}
+}

@@ -1,0 +1,152 @@
+package datalog
+
+import "fmt"
+
+// PlanStepKind discriminates the steps of a BodyPlan.
+type PlanStepKind uint8
+
+// The plan step kinds.
+const (
+	// StepMatch matches a positive atom against known facts, binding its
+	// bare-variable arguments.
+	StepMatch PlanStepKind = iota
+	// StepAssign evaluates a term and binds it to a fresh variable.
+	StepAssign
+	// StepTest evaluates a ground comparison.
+	StepTest
+)
+
+// PlanStep is one element of a rule body's executable evaluation order.
+type PlanStep struct {
+	Kind PlanStepKind
+
+	Atom   Atom // StepMatch: the atom to match
+	PosIdx int  // StepMatch: index among the rule's positive atoms
+
+	AssignVar Var  // StepAssign: the variable bound
+	Term      Term // StepAssign: the term evaluated
+
+	Cmp LitCmp // StepTest: the comparison evaluated
+}
+
+// BodyPlan is an executable evaluation order for a rule body: positive atoms
+// and comparisons interleaved so every term is evaluable when reached, with
+// negated atoms (whose variables are then all bound) collected at the end.
+// Its existence is the operational counterpart of the rule being safe in the
+// sense of Definition 4.1.
+type BodyPlan struct {
+	Steps  []PlanStep
+	Negs   []Atom
+	NumPos int
+}
+
+// PlanRule computes an executable order for the rule. It returns an error
+// when no order exists: the rule is unsafe, or uses a comparison that no
+// order can evaluate.
+func PlanRule(r Rule) (BodyPlan, error) {
+	bound := map[Var]bool{}
+	allBound := func(t Term) bool {
+		for v := range VarsOfTerm(t) {
+			if !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	var plan BodyPlan
+	type pending struct {
+		lit  Literal
+		done bool
+	}
+	pend := make([]pending, len(r.Body))
+	for i, l := range r.Body {
+		pend[i] = pending{lit: l}
+	}
+	remaining := 0
+	for _, p := range pend {
+		if la, ok := p.lit.(LitAtom); !ok || !la.Neg {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		progressed := false
+		for i := range pend {
+			if pend[i].done {
+				continue
+			}
+			switch l := pend[i].lit.(type) {
+			case LitAtom:
+				if l.Neg {
+					continue // collected after the loop
+				}
+				// A positive atom is ready when its non-variable argument
+				// terms are evaluable; bare variable arguments are bound by
+				// matching (interpreted functions cannot be inverted).
+				ready := true
+				for _, a := range l.Atom.Args {
+					if _, isVar := a.(Var); isVar {
+						continue
+					}
+					if !allBound(a) {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				plan.Steps = append(plan.Steps, PlanStep{Kind: StepMatch, Atom: l.Atom, PosIdx: plan.NumPos})
+				plan.NumPos++
+				for _, a := range l.Atom.Args {
+					if v, isVar := a.(Var); isVar {
+						bound[v] = true
+					}
+				}
+				pend[i].done = true
+				remaining--
+				progressed = true
+			case LitCmp:
+				lv, lIsVar := l.L.(Var)
+				rv, rIsVar := l.R.(Var)
+				switch {
+				case allBound(l.L) && allBound(l.R):
+					plan.Steps = append(plan.Steps, PlanStep{Kind: StepTest, Cmp: l})
+				case l.Op == OpEq && lIsVar && !bound[lv] && allBound(l.R):
+					plan.Steps = append(plan.Steps, PlanStep{Kind: StepAssign, AssignVar: lv, Term: l.R})
+					bound[lv] = true
+				case l.Op == OpEq && rIsVar && !bound[rv] && allBound(l.L):
+					plan.Steps = append(plan.Steps, PlanStep{Kind: StepAssign, AssignVar: rv, Term: l.L})
+					bound[rv] = true
+				default:
+					continue
+				}
+				pend[i].done = true
+				remaining--
+				progressed = true
+			default:
+				panic(fmt.Sprintf("datalog: unknown literal %T", l))
+			}
+		}
+		if !progressed {
+			return BodyPlan{}, fmt.Errorf("datalog: rule %s has no executable literal order (unsafe rule)", r)
+		}
+	}
+	for _, p := range pend {
+		la, ok := p.lit.(LitAtom)
+		if !ok || !la.Neg {
+			continue
+		}
+		for v := range VarsOfAtom(la.Atom) {
+			if !bound[v] {
+				return BodyPlan{}, fmt.Errorf("datalog: rule %s: variable %s of negated atom is not restricted", r, v)
+			}
+		}
+		plan.Negs = append(plan.Negs, la.Atom)
+	}
+	for v := range VarsOfAtom(r.Head) {
+		if !bound[v] {
+			return BodyPlan{}, fmt.Errorf("datalog: rule %s: head variable %s is not restricted", r, v)
+		}
+	}
+	return plan, nil
+}

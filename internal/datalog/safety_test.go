@@ -1,0 +1,123 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustRule(t *testing.T, src string) Rule {
+	t.Helper()
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatalf("parse %q: got %d rules", src, len(p.Rules))
+	}
+	return p.Rules[0]
+}
+
+func TestSafetySafeRules(t *testing.T) {
+	safe := []string{
+		"p(X) :- q(X).",
+		"p(X, Y) :- q(X), r(Y).",
+		"p(X) :- q(X), not r(X).",
+		"p(Y) :- q(X), Y = plus(X, 1).",
+		"p(X) :- X = 3.", // basis b: x = ground expression
+		"p(X) :- X = plus(1, 2).",
+		"p(X) :- q(X), X != 3.",
+		"p(X) :- q(X, Y), not r(Y), X < Y.",
+		"p(Z) :- q(X), Y = succ(X), Z = plus(X, Y).", // chained assignments
+		"p(X) :- q(Y), X = Y.",                       // rule 4 with variable exp
+		"zero :- not one.",                           // no variables at all
+	}
+	for _, src := range safe {
+		if err := CheckRuleSafe(mustRule(t, src)); err != nil {
+			t.Errorf("rule %q should be safe: %v", src, err)
+		}
+	}
+}
+
+func TestSafetyUnsafeRules(t *testing.T) {
+	unsafe := []string{
+		"p(X).",                         // head variable unrestricted
+		"p(X) :- not q(X).",             // only negative occurrence
+		"p(X) :- q(Y).",                 // head variable free
+		"p(X) :- X != 3.",               // disequality restricts nothing
+		"p(X) :- q(Y), X = plus(X, 1).", // self-referential assignment
+		"p(X, Y) :- q(X), not r(X, Y).",
+		"p(X) :- Y = X.", // circular: neither side restricted
+	}
+	for _, src := range unsafe {
+		if err := CheckRuleSafe(mustRule(t, src)); err == nil {
+			t.Errorf("rule %q should be unsafe", src)
+		}
+	}
+}
+
+func TestCheckProgramSafe(t *testing.T) {
+	good := MustParse("p(X) :- q(X).\nq(1).\n")
+	if err := CheckProgramSafe(good); err != nil {
+		t.Errorf("program should be safe: %v", err)
+	}
+	bad := MustParse("p(X) :- q(X).\nr(X) :- not q(X).\n")
+	err := CheckProgramSafe(bad)
+	if err == nil {
+		t.Fatal("program should be unsafe")
+	}
+	if !strings.Contains(err.Error(), "unsafe rule") {
+		t.Errorf("error %q should mention the unsafe rule", err)
+	}
+}
+
+func TestMakeSafe(t *testing.T) {
+	// The paper's Section 4 example: Q(x) :- not R(x) is domain dependent;
+	// Proposition 4.2 makes it safe by restricting x to the domain predicate.
+	p := MustParse("q(X) :- not r(X).\n")
+	sp := MakeSafe(p, "dom")
+	want := "q(X) :- dom(X), not r(X).\n"
+	if got := sp.String(); got != want {
+		t.Errorf("MakeSafe = %q, want %q", got, want)
+	}
+	if err := CheckProgramSafe(sp); err != nil {
+		t.Errorf("MakeSafe result should be safe: %v", err)
+	}
+	// Already-safe rules are unchanged.
+	p2 := MustParse("p(X) :- q(X), not r(X).\n")
+	if got := MakeSafe(p2, "dom").String(); got != p2.String() {
+		t.Errorf("MakeSafe changed a safe rule: %q", got)
+	}
+	// Multiple unsafe variables are all guarded, in sorted order.
+	p3 := MustParse("p(X, Y) :- not r(Y, X).\n")
+	want3 := "p(X, Y) :- dom(X), dom(Y), not r(Y, X).\n"
+	if got := MakeSafe(p3, "dom").String(); got != want3 {
+		t.Errorf("MakeSafe = %q, want %q", got, want3)
+	}
+}
+
+func TestDomainFacts(t *testing.T) {
+	p := MustParse(`
+e(1, 2).
+e(2, a).
+p(X) :- e(X, Y), Y = plus(X, 3), not q(7).
+`)
+	fs := DomainFacts(p, "dom")
+	var keys []string
+	for _, f := range fs {
+		keys = append(keys, f.Key())
+	}
+	got := strings.Join(keys, " ")
+	want := "dom(1) dom(2) dom(3) dom(7) dom(a)"
+	if got != want {
+		t.Errorf("DomainFacts = %q, want %q", got, want)
+	}
+}
+
+func TestRestrictedVarsFixpointOrder(t *testing.T) {
+	// Restriction must propagate regardless of literal order: Z depends on Y
+	// which depends on X which comes last.
+	r := mustRule(t, "p(Z) :- Z = plus(Y, 1), Y = plus(X, 1), q(X).")
+	if err := CheckRuleSafe(r); err != nil {
+		t.Errorf("fixpoint restriction failed: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package datalog
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStratifyPositive(t *testing.T) {
+	p := MustParse(`
+edge(1, 2).
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- tc(X, Y), edge(Y, Z).
+`)
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s["edge"] != 0 || s["tc"] != 0 {
+		t.Errorf("positive program should be single-stratum: %v", s)
+	}
+}
+
+func TestStratifyLayered(t *testing.T) {
+	p := MustParse(`
+node(1).
+edge(1, 2).
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- tc(X, Y), edge(Y, Z).
+unreachable(X, Y) :- node(X), node(Y), not tc(X, Y).
+isolated(X) :- node(X), not connected(X).
+connected(X) :- tc(X, Y).
+deep(X) :- isolated(X), not unreachable(X, X).
+`)
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s["tc"] < s["unreachable"] && s["connected"] < s["isolated"] && s["unreachable"] < s["deep"] && s["isolated"] <= s["deep"]) {
+		t.Errorf("strata ordering wrong: %v", s)
+	}
+	if !IsStratified(p) {
+		t.Error("IsStratified = false for stratified program")
+	}
+}
+
+func TestStratifyWinGame(t *testing.T) {
+	// The paper's Example 3 WIN game is the canonical non-stratified program.
+	p := MustParse(`
+move(a, b).
+win(X) :- move(X, Y), not win(Y).
+`)
+	_, err := Stratify(p)
+	var ens ErrNotStratified
+	if !errors.As(err, &ens) {
+		t.Fatalf("expected ErrNotStratified, got %v", err)
+	}
+	if ens.Pred != "win" {
+		t.Errorf("witness predicate = %s, want win", ens.Pred)
+	}
+	if IsStratified(p) {
+		t.Error("IsStratified = true for win game")
+	}
+}
+
+func TestStratifyMutualNegation(t *testing.T) {
+	p := MustParse(`
+p(X) :- d(X), not q(X).
+q(X) :- d(X), not p(X).
+d(1).
+`)
+	if IsStratified(p) {
+		t.Error("mutual negation should not be stratified")
+	}
+}
+
+func TestDepGraph(t *testing.T) {
+	p := MustParse(`
+win(X) :- move(X, Y), not win(Y).
+`)
+	edges := DepGraph(p)
+	if len(edges) != 2 {
+		t.Fatalf("got %d edges, want 2: %v", len(edges), edges)
+	}
+	if edges[0] != (DepEdge{From: "win", To: "move", Negative: false}) {
+		t.Errorf("edge 0 = %v", edges[0])
+	}
+	if edges[1] != (DepEdge{From: "win", To: "win", Negative: true}) {
+		t.Errorf("edge 1 = %v", edges[1])
+	}
+}
+
+func TestStrata(t *testing.T) {
+	p := MustParse(`
+e(1, 2).
+tc(X, Y) :- e(X, Y).
+co(X, Y) :- n(X), n(Y), not tc(X, Y).
+n(1).
+`)
+	groups, stratum, err := Strata(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d strata, want 2", len(groups))
+	}
+	if stratum["co"] != 1 || stratum["tc"] != 0 {
+		t.Errorf("stratum assignment wrong: %v", stratum)
+	}
+	for _, r := range groups[1] {
+		if r.Head.Pred != "co" {
+			t.Errorf("stratum 1 contains rule for %s", r.Head.Pred)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"algrec/internal/algebra"
+	"algrec/internal/core"
+	"algrec/internal/datalog"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/semantics"
+	"algrec/internal/translate"
+	"algrec/internal/value"
+)
+
+// randomSafeProgram mirrors the generator used by the translate property
+// tests: EDB facts over small integers, IDB rules with positive atoms
+// binding all variables followed by optional comparisons and negated atoms.
+func randomSafeProgram(r *rand.Rand) *datalog.Program {
+	p := &datalog.Program{}
+	type rel struct {
+		name  string
+		arity int
+	}
+	edb := []rel{{"d", 1}, {"e", 2}}
+	idb := []rel{{"p", 1}, {"q", 1}, {"s", 2}}
+	nConst := 3 + r.Intn(3)
+	for i := 0; i < 4+r.Intn(6); i++ {
+		re := edb[r.Intn(len(edb))]
+		args := make([]value.Value, re.arity)
+		for j := range args {
+			args[j] = value.Int(int64(r.Intn(nConst)))
+		}
+		p.AddFacts(datalog.Fact{Pred: re.name, Args: args})
+	}
+	vars := []datalog.Var{"X", "Y", "Z"}
+	all := append(append([]rel{}, edb...), idb...)
+	for i := 0; i < 3+r.Intn(5); i++ {
+		head := idb[r.Intn(len(idb))]
+		var body []datalog.Literal
+		bound := map[datalog.Var]bool{}
+		var boundList []datalog.Var
+		for j := 0; j < 1+r.Intn(2); j++ {
+			re := all[r.Intn(len(all))]
+			args := make([]datalog.Term, re.arity)
+			for k := range args {
+				v := vars[r.Intn(len(vars))]
+				args[k] = v
+				if !bound[v] {
+					bound[v] = true
+					boundList = append(boundList, v)
+				}
+			}
+			body = append(body, datalog.LitAtom{Atom: datalog.Atom{Pred: re.name, Args: args}})
+		}
+		for j := r.Intn(2); j > 0 && len(boundList) > 0; j-- {
+			re := all[r.Intn(len(all))]
+			args := make([]datalog.Term, re.arity)
+			for k := range args {
+				args[k] = boundList[r.Intn(len(boundList))]
+			}
+			body = append(body, datalog.LitAtom{Neg: true, Atom: datalog.Atom{Pred: re.name, Args: args}})
+		}
+		headArgs := make([]datalog.Term, head.arity)
+		for k := range headArgs {
+			if len(boundList) > 0 {
+				headArgs[k] = boundList[r.Intn(len(boundList))]
+			} else {
+				headArgs[k] = datalog.CInt(0)
+			}
+		}
+		p.Rules = append(p.Rules, datalog.Rule{Head: datalog.Atom{Pred: head.name, Args: headArgs}, Body: body})
+	}
+	return p
+}
+
+// RunA1 measures the Flip-annotation ablation: on random safe programs, how
+// often does the un-annotated anti-join translation lose precision against
+// the ground valid model, and is the annotated translation always exact?
+func RunA1(batches []int) (*Table, error) {
+	t := &Table{ID: "A1", Title: "ablation: anti-join polarity annotation (algebra.Flip) on/off", OK: true,
+		Header: []string{"programs", "flipExact", "noFlipExact", "noFlipImprecise", "noFlipUnsound", "time"}}
+	seed := int64(1)
+	for _, n := range batches {
+		var flipExact, noFlipExact, noFlipImprecise, noFlipUnsound int
+		d := timed(func() {
+			for i := 0; i < n; i++ {
+				seed++
+				p := randomSafeProgram(rand.New(rand.NewSource(seed)))
+				in, err := semantics.Eval(p, semantics.SemValid, ground.Budget{})
+				if err != nil {
+					continue
+				}
+				check := func(res *core.Result) (exact, sound bool) {
+					exact, sound = true, true
+					for _, pred := range p.IDB() {
+						truth := translate.TrueSet(in, pred)
+						undef := translate.UndefSet(in, pred)
+						if !value.Equal(res.Set(pred), truth) || !value.Equal(res.UndefElems(pred), undef) {
+							exact = false
+						}
+						if !res.Set(pred).Subset(truth) || !truth.Union(undef).Subset(res.Upper[pred]) {
+							sound = false
+						}
+					}
+					return exact, sound
+				}
+				cp, db, err := translate.DatalogToCore(p)
+				if err != nil {
+					continue
+				}
+				res, err := core.EvalValid(cp, db, algebra.Budget{})
+				if err != nil {
+					continue
+				}
+				if exact, _ := check(res); exact {
+					flipExact++
+				}
+				cpN, dbN, err := translate.DatalogToCoreNoFlip(p)
+				if err != nil {
+					continue
+				}
+				resN, err := core.EvalValid(cpN, dbN, algebra.Budget{})
+				if err != nil {
+					continue
+				}
+				exact, sound := check(resN)
+				switch {
+				case exact:
+					noFlipExact++
+				case sound:
+					noFlipImprecise++
+				default:
+					noFlipUnsound++
+				}
+			}
+		})
+		// The annotated translation must be exact on every program, and the
+		// un-annotated one must never be unsound.
+		if flipExact != n || noFlipUnsound > 0 {
+			t.OK = false
+		}
+		t.Add(n, flipExact, noFlipExact, noFlipImprecise, noFlipUnsound, d)
+	}
+	t.Notes = append(t.Notes,
+		"noFlipImprecise counts programs where dropping the annotation turns decided memberships into undefined ones")
+	return t, nil
+}
+
+// RunE11 checks Theorem 3.5 / Corollary 3.6: IFP-algebra ⊂ algebra= — every
+// IFP expression is expressible without the operator, via the paper's
+// Prop 5.1 → Prop 5.2 → Prop 6.1 pipeline (translate.EliminateIFP).
+func RunE11(sizes []int) (*Table, error) {
+	t := &Table{ID: "E11", Title: "IFP elimination: IFP-algebra ⊂ algebra= (Thm 3.5, Cor 3.6)", OK: true,
+		Header: []string{"case", "|result|", "wellDefined", "agree", "time"}}
+	type tc struct {
+		name string
+		expr algebra.Expr
+		db   algebra.DB
+	}
+	cases := []tc{{
+		name: "IFP_{{a}-x}",
+		expr: algebra.IFP{Var: "x", Body: algebra.Diff{L: algebra.Singleton(value.String("a")), R: algebra.Rel{Name: "x"}}},
+		db:   algebra.DB{},
+	}}
+	for _, n := range sizes {
+		cases = append(cases, tc{
+			name: fmt.Sprintf("tcChain(%d)", n),
+			expr: TCIFPExpr("move"),
+			db:   FactsDB("move", ChainEdges("move", n)),
+		})
+	}
+	for _, c := range cases {
+		var agree, wd bool
+		var size int
+		d := timed(func() {
+			want, err := algebra.Eval(c.expr, c.db)
+			if err != nil {
+				return
+			}
+			cp, cdb, result, err := translate.EliminateIFP(c.expr, c.db)
+			if err != nil {
+				return
+			}
+			res, err := core.EvalValid(cp, cdb, algebra.Budget{})
+			if err != nil {
+				return
+			}
+			wd = res.IsTotal(result)
+			agree = value.Equal(res.Set(result), want)
+			size = res.Set(result).Len()
+		})
+		if !agree || !wd {
+			t.OK = false
+		}
+		t.Add(c.name, size, wd, agree, d)
+	}
+	return t, nil
+}
+
+// RunA3 measures the hash equi-join fast path ablation: the σ(×) shape is
+// the only join the paper's algebra can express, so the fast path is the
+// difference between quadratic and near-linear joins. Both modes must agree.
+func RunA3(sizes []int) (*Table, error) {
+	t := &Table{ID: "A3", Title: "ablation: hash equi-join fast path for σ(L × R) on/off", OK: true,
+		Header: []string{"workload", "|tc|", "hashJoin", "naiveProduct", "agree"}}
+	for _, n := range sizes {
+		db := FactsDB("move", ChainEdges("move", n))
+		e := TCIFPExpr("move")
+		var fast, slow value.Set
+		var err error
+		dFast := timed(func() {
+			fast, err = algebra.NewEvaluator(db, algebra.Budget{}).Eval(e)
+		})
+		if err != nil {
+			return nil, err
+		}
+		dSlow := timed(func() {
+			slow, err = algebra.NewEvaluator(db, algebra.Budget{NoHashJoin: true}).Eval(e)
+		})
+		if err != nil {
+			return nil, err
+		}
+		agree := value.Equal(fast, slow)
+		if !agree {
+			t.OK = false
+		}
+		t.Add(fmt.Sprintf("tcChain(%d)", n), fast.Len(), dFast, dSlow, agree)
+	}
+	return t, nil
+}
+
+// RunA2 compares the two independent valid-model implementations — the
+// literal Section 2.2 procedure and the WFS alternating fixpoint — for
+// agreement and relative cost.
+func RunA2(sizes []int) (*Table, error) {
+	t := &Table{ID: "A2", Title: "ablation: §2.2 valid procedure vs WFS alternating fixpoint", OK: true,
+		Header: []string{"program", "atoms", "agree", "validTime", "wfsTime"}}
+	progs := []struct {
+		name string
+		p    *datalog.Program
+	}{}
+	for _, n := range sizes {
+		progs = append(progs,
+			struct {
+				name string
+				p    *datalog.Program
+			}{fmt.Sprintf("winCycle(%d)", n), WinProgram(CycleEdges("move", n))},
+			struct {
+				name string
+				p    *datalog.Program
+			}{fmt.Sprintf("randomNeg(%d)", n), RandomNegProgram(int64(n), n, 3*n)},
+			struct {
+				name string
+				p    *datalog.Program
+			}{fmt.Sprintf("tcChain(%d)", n), TCProgram(ChainEdges("e", n))},
+		)
+	}
+	for _, pr := range progs {
+		g, err := ground.Ground(pr.p, ground.Budget{})
+		if err != nil {
+			return nil, err
+		}
+		e := semantics.NewEngine(g)
+		var valid, wfs *semantics.Interp
+		var dValid, dWFS time.Duration
+		dValid = timed(func() { valid = e.Valid() })
+		dWFS = timed(func() { wfs = e.WellFounded() })
+		agree := semantics.SameTruths(valid, wfs)
+		if !agree {
+			t.OK = false
+		}
+		t.Add(pr.name, g.NumAtoms(), agree, dValid, dWFS)
+	}
+	return t, nil
+}

@@ -1,0 +1,94 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentsPass runs the whole suite at a reduced scale and requires
+// every agreement check to pass — the experiment harness is itself the
+// integration test of the repository.
+func TestExperimentsPass(t *testing.T) {
+	suites := []Suite{
+		{"E1", func() (*Table, error) { return RunE1([]int{6, 10}) }},
+		{"E2", func() (*Table, error) { return RunE2([]int64{32, 128}) }},
+		{"E3", func() (*Table, error) { return RunE3([]int{4, 6}) }},
+		{"E4", func() (*Table, error) { return RunE4([]int{8, 16}) }},
+		{"E5", func() (*Table, error) { return RunE5([]int{8, 16}) }},
+		{"E6", func() (*Table, error) { return RunE6([]int{8, 24}) }},
+		{"E7", func() (*Table, error) { return RunE7([]int{4, 8}) }},
+		{"E8", func() (*Table, error) { return RunE8([]int{4, 8}) }},
+		{"E9", func() (*Table, error) { return RunE9([]int{4, 8}) }},
+		{"E10", func() (*Table, error) { return RunE10([]int{4, 6}) }},
+		{"E11", func() (*Table, error) { return RunE11([]int{4}) }},
+		{"P1", func() (*Table, error) { return RunP1([]int{16, 32}) }},
+		{"P2", func() (*Table, error) { return RunP2([]int{8, 16}) }},
+		{"P3", func() (*Table, error) { return RunP3([]int{2, 4}) }},
+		{"A1", func() (*Table, error) { return RunA1([]int{60}) }},
+		{"A2", func() (*Table, error) { return RunA2([]int{8, 16}) }},
+		{"A3", func() (*Table, error) { return RunA3([]int{8, 16}) }},
+	}
+	for _, s := range suites {
+		tbl, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if !tbl.OK {
+			t.Errorf("%s failed:\n%s", s.ID, tbl)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s produced no rows", s.ID)
+		}
+	}
+}
+
+func TestWorkloadGenerators(t *testing.T) {
+	if got := len(ChainEdges("e", 5)); got != 5 {
+		t.Errorf("chain(5) has %d edges", got)
+	}
+	if got := len(CycleEdges("e", 5)); got != 5 {
+		t.Errorf("cycle(5) has %d edges", got)
+	}
+	if got := len(GridEdges("e", 3, 3)); got != 12 {
+		t.Errorf("grid(3,3) has %d edges", got)
+	}
+	if got := len(RandomGraph("e", 10, 20, 1)); got != 20 {
+		t.Errorf("random has %d edges", got)
+	}
+	for _, f := range RandomDAG("e", 10, 30, 1) {
+		a, b := f.Args[0].String(), f.Args[1].String()
+		if a >= b && len(a) == len(b) {
+			t.Fatalf("DAG edge %s -> %s is not forward", a, b)
+		}
+	}
+	if got := nativeTC(ChainEdges("e", 4)); got != 10 {
+		t.Errorf("nativeTC(chain4) = %d, want 10", got)
+	}
+	sg := SameGenProgram(3)
+	if len(sg.Rules) < 10 {
+		t.Errorf("same-gen program too small: %d rules", len(sg.Rules))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "demo", OK: true, Header: []string{"a", "bb"}}
+	tbl.Add(1, true)
+	tbl.Add("xy", false)
+	tbl.Notes = append(tbl.Notes, "a note")
+	s := tbl.String()
+	for _, want := range []string{"== T: demo [PASS]", "a note", "NO", "yes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"### T — demo (PASS)", "| a | bb |", "| 1 | yes |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+	tbl.OK = false
+	if !strings.Contains(tbl.String(), "[FAIL]") {
+		t.Error("FAIL verdict missing")
+	}
+}

@@ -1,0 +1,195 @@
+package rewrite
+
+import (
+	"testing"
+
+	"algrec/internal/spec"
+	"algrec/internal/term"
+)
+
+// The paper's Section 2.1: "Essentially all known data types ... and
+// structured types like sets, lists, stacks, and so on, can be so defined."
+// These tests run the LIST, STACK and nested-SET specifications by
+// rewriting.
+
+func TestListSpec(t *testing.T) {
+	sp, err := spec.ListSpec(spec.NatSpec(), "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rw := New(sp, 0)
+	cons := func(n int, l term.Term) term.Term { return term.Mk("CONS", spec.NatTerm(n), l) }
+	l12 := cons(1, cons(2, term.Const("NIL")))
+	l3 := cons(3, term.Const("NIL"))
+	// APPEND
+	app, err := rw.Normalize(term.Mk("APPEND", l12, l3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cons(1, cons(2, cons(3, term.Const("NIL"))))
+	nw, _ := rw.Normalize(want)
+	if !term.Equal(app, nw) {
+		t.Errorf("APPEND = %s, want %s", app, nw)
+	}
+	// LEN
+	ln, err := rw.Normalize(term.Mk("LEN", app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.Equal(ln, spec.NatTerm(3)) {
+		t.Errorf("LEN = %s, want 3", ln)
+	}
+	// EQLIST: order matters for lists (unlike sets)
+	eq1, _ := rw.Normalize(term.Mk("EQLIST", l12, cons(1, cons(2, term.Const("NIL")))))
+	if !term.Equal(eq1, term.Const("TRUE")) {
+		t.Errorf("EQLIST same = %s", eq1)
+	}
+	eq2, _ := rw.Normalize(term.Mk("EQLIST", l12, cons(2, cons(1, term.Const("NIL")))))
+	if !term.Equal(eq2, term.Const("FALSE")) {
+		t.Errorf("EQLIST swapped = %s (lists are ordered)", eq2)
+	}
+	eq3, _ := rw.Normalize(term.Mk("EQLIST", l12, l3))
+	if !term.Equal(eq3, term.Const("FALSE")) {
+		t.Errorf("EQLIST different lengths = %s", eq3)
+	}
+}
+
+func TestStackSpec(t *testing.T) {
+	sp, err := spec.StackSpec(spec.NatSpec(), "nat", "ZERO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rw := New(sp, 0)
+	push := func(n int, s term.Term) term.Term { return term.Mk("PUSH", spec.NatTerm(n), s) }
+	s := push(3, push(2, term.Const("EMPTYSTK")))
+	top, _ := rw.Normalize(term.Mk("TOPORD", s))
+	if !term.Equal(top, spec.NatTerm(3)) {
+		t.Errorf("TOPORD = %s, want 3", top)
+	}
+	popped, _ := rw.Normalize(term.Mk("TOPORD", term.Mk("POP", s)))
+	if !term.Equal(popped, spec.NatTerm(2)) {
+		t.Errorf("TOPORD(POP) = %s, want 2", popped)
+	}
+	// totality on the empty stack
+	e1, _ := rw.Normalize(term.Mk("POP", term.Const("EMPTYSTK")))
+	if !term.Equal(e1, term.Const("EMPTYSTK")) {
+		t.Errorf("POP(EMPTYSTK) = %s", e1)
+	}
+	e2, _ := rw.Normalize(term.Mk("TOPORD", term.Const("EMPTYSTK")))
+	if !term.Equal(e2, term.Const("ZERO")) {
+		t.Errorf("TOPORD(EMPTYSTK) = %s", e2)
+	}
+	emp, _ := rw.Normalize(term.Mk("ISEMPTY", term.Mk("POP", push(1, term.Const("EMPTYSTK")))))
+	if !term.Equal(emp, term.Const("TRUE")) {
+		t.Errorf("ISEMPTY after pop = %s", emp)
+	}
+	if err := checkErrCases(t, sp); err != nil {
+		t.Error(err)
+	}
+}
+
+func checkErrCases(t *testing.T, _ *spec.Spec) error {
+	t.Helper()
+	if _, err := spec.StackSpec(spec.BoolSpec(), "nat", "ZERO"); err == nil {
+		t.Error("missing sort accepted")
+	}
+	if _, err := spec.StackSpec(spec.NatSpec(), "nat", "SUCC"); err == nil {
+		t.Error("non-constant default accepted")
+	}
+	if _, err := spec.ListSpec(spec.BoolSpec(), "nat", "EQ"); err == nil {
+		t.Error("list with missing sort accepted")
+	}
+	if _, err := spec.ListSpec(spec.NatSpec(), "nat", "nosuch"); err == nil {
+		t.Error("list with missing equality accepted")
+	}
+	return nil
+}
+
+// TestSetEquality: SUBSET and EQSET are definable (footnote 1's
+// precondition), and EQSET ignores insertion order and duplicates.
+func TestSetEquality(t *testing.T) {
+	base, err := spec.SetSpec(spec.NatSpec(), "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.WithSetEquality(base, "nat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rw := New(sp, 0)
+	s12 := spec.SetTerm(spec.NatTerm(1), spec.NatTerm(2))
+	s21 := spec.SetTerm(spec.NatTerm(2), spec.NatTerm(1), spec.NatTerm(2))
+	s13 := spec.SetTerm(spec.NatTerm(1), spec.NatTerm(3))
+	eq, _ := rw.Normalize(term.Mk("EQSET", s12, s21))
+	if !term.Equal(eq, term.Const("TRUE")) {
+		t.Errorf("EQSET({1,2}, {2,1,2}) = %s", eq)
+	}
+	ne, _ := rw.Normalize(term.Mk("EQSET", s12, s13))
+	if !term.Equal(ne, term.Const("FALSE")) {
+		t.Errorf("EQSET({1,2}, {1,3}) = %s", ne)
+	}
+	sub, _ := rw.Normalize(term.Mk("SUBSET", spec.SetTerm(spec.NatTerm(1)), s12))
+	if !term.Equal(sub, term.Const("TRUE")) {
+		t.Errorf("SUBSET({1}, {1,2}) = %s", sub)
+	}
+	nsub, _ := rw.Normalize(term.Mk("SUBSET", s13, s12))
+	if !term.Equal(nsub, term.Const("FALSE")) {
+		t.Errorf("SUBSET({1,3}, {1,2}) = %s", nsub)
+	}
+}
+
+// TestNestedSets instantiates SET at set(nat): membership of inner sets in a
+// set of sets, decided by the definable EQSET — the paper's footnote 1 made
+// executable.
+func TestNestedSets(t *testing.T) {
+	sp, err := spec.NestedSetSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rw := New(sp, 0)
+	s12 := spec.SetTerm(spec.NatTerm(1), spec.NatTerm(2))
+	s21 := spec.SetTerm(spec.NatTerm(2), spec.NatTerm(1)) // same set, different chain
+	s3 := spec.SetTerm(spec.NatTerm(3))
+	// outer = { {1,2}, {3} }
+	outer := term.Mk("INS2", s12, term.Mk("INS2", s3, term.Const("EMPTY2")))
+	in, err := rw.Normalize(term.Mk("MEM2", s21, outer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.Equal(in, term.Const("TRUE")) {
+		t.Errorf("MEM2({2,1}, {{1,2},{3}}) = %s (set equality should ignore order)", in)
+	}
+	notIn, err := rw.Normalize(term.Mk("MEM2", spec.SetTerm(spec.NatTerm(9)), outer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.Equal(notIn, term.Const("FALSE")) {
+		t.Errorf("MEM2({9}, ...) = %s", notIn)
+	}
+	// INS2 idempotence up to set equality of canonical forms: inserting the
+	// reordered chain of an existing member collapses after normalization.
+	bigger := term.Mk("INS2", s21, outer)
+	nb, err := rw.Normalize(bigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	no, err := rw.Normalize(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.Equal(nb, no) {
+		t.Errorf("INS2 of an existing member (reordered) did not collapse:\n  %s\n  %s", nb, no)
+	}
+}

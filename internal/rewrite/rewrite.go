@@ -1,0 +1,159 @@
+// Package rewrite makes algebraic specifications executable: it orients a
+// specification's equations left to right and normalizes ground terms by
+// innermost rewriting, realizing the quotient term algebra operationally
+// ("It is easy to see (using term rewriting) that ..." — the paper leans on
+// exactly this machinery in Example 1).
+//
+// Conditional equations are applied when their conditions hold after
+// normalizing both sides; a disequation condition holds when the two normal
+// forms differ. This operational reading of negation is sound for
+// constructor-style specifications such as SET(nat) and is the standard
+// positive/negative conditional rewriting of Kaplan (the paper's [17]);
+// for the general case the paper's valid-model semantics applies, and the
+// validspec package decides the constant-only fragment exactly.
+//
+// Permutative equations (INS commutativity) are marked Ordered in the
+// specification and applied only when they decrease the total order on
+// terms, so normalization terminates with a canonical form: structurally
+// equal normal forms coincide with provable equality for these
+// specifications, making MEM and set equality decidable — the "associated
+// benefit: algebraic specifications are computable" of Section 2.1.
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+
+	"algrec/internal/spec"
+	"algrec/internal/term"
+)
+
+// ErrBudget is returned when normalization exceeds its step budget.
+var ErrBudget = errors.New("rewrite: step budget exceeded")
+
+// Rewriter normalizes terms of one specification.
+type Rewriter struct {
+	sp       *spec.Spec
+	maxSteps int
+	steps    int
+}
+
+// New returns a rewriter for the specification with the given step budget
+// (0 means the default of 1e6 steps).
+func New(sp *spec.Spec, maxSteps int) *Rewriter {
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	return &Rewriter{sp: sp, maxSteps: maxSteps}
+}
+
+// Steps reports the number of rewrite steps performed so far.
+func (rw *Rewriter) Steps() int { return rw.steps }
+
+// Normalize rewrites t to normal form. The term should be ground; match
+// variables in equations never capture term variables, so normalizing an
+// open term simply treats its variables as opaque constants.
+func (rw *Rewriter) Normalize(t term.Term) (term.Term, error) {
+	rw.steps = 0
+	return rw.norm(t)
+}
+
+func (rw *Rewriter) norm(t term.Term) (term.Term, error) {
+	switch tt := t.(type) {
+	case term.Var:
+		return tt, nil
+	case term.App:
+		args := make([]term.Term, len(tt.Args))
+		for i, a := range tt.Args {
+			na, err := rw.norm(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		cur := term.Term(term.App{Op: tt.Op, Args: args})
+		for {
+			next, applied, err := rw.rewriteRoot(cur)
+			if err != nil {
+				return nil, err
+			}
+			if !applied {
+				return cur, nil
+			}
+			// The contracted term may expose new redexes anywhere; normalize
+			// it fully (arguments first, then the root again).
+			nf, err := rw.norm(next)
+			if err != nil {
+				return nil, err
+			}
+			if term.Equal(nf, cur) {
+				return cur, nil
+			}
+			cur = nf
+		}
+	default:
+		panic(fmt.Sprintf("rewrite: unknown term %T", t))
+	}
+}
+
+// rewriteRoot tries each equation at the root of t.
+func (rw *Rewriter) rewriteRoot(t term.Term) (term.Term, bool, error) {
+	for _, e := range rw.sp.Eqns {
+		s, ok := term.Match(e.Lhs, t)
+		if !ok {
+			continue
+		}
+		condsOK, err := rw.condsHold(e.Conds, s)
+		if err != nil {
+			return nil, false, err
+		}
+		if !condsOK {
+			continue
+		}
+		rhs := s.Apply(e.Rhs)
+		if e.Ordered && term.Compare(rhs, t) >= 0 {
+			continue
+		}
+		rw.steps++
+		if rw.steps > rw.maxSteps {
+			return nil, false, fmt.Errorf("%w (%d steps)", ErrBudget, rw.maxSteps)
+		}
+		return rhs, true, nil
+	}
+	return t, false, nil
+}
+
+func (rw *Rewriter) condsHold(conds []spec.Cond, s term.Subst) (bool, error) {
+	for _, c := range conds {
+		l, err := rw.norm(s.Apply(c.L))
+		if err != nil {
+			return false, err
+		}
+		r, err := rw.norm(s.Apply(c.R))
+		if err != nil {
+			return false, err
+		}
+		eq := term.Equal(l, r)
+		if c.Negated {
+			eq = !eq
+		}
+		if !eq {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Equiv reports whether two ground terms are provably equal in the
+// specification, by comparing normal forms.
+func (rw *Rewriter) Equiv(a, b term.Term) (bool, error) {
+	na, err := rw.Normalize(a)
+	if err != nil {
+		return false, err
+	}
+	nb, err := rw.Normalize(b)
+	if err != nil {
+		return false, err
+	}
+	return term.Equal(na, nb), nil
+}

@@ -1,0 +1,281 @@
+package rewrite
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"algrec/internal/spec"
+	"algrec/internal/term"
+)
+
+func natSetSpec(t *testing.T) *spec.Spec {
+	t.Helper()
+	sp, err := spec.SetSpec(spec.NatSpec(), "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestNatArithmetic(t *testing.T) {
+	rw := New(spec.NatSpec(), 0)
+	got, err := rw.Normalize(term.Mk("PLUS", spec.NatTerm(2), spec.NatTerm(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.Equal(got, spec.NatTerm(5)) {
+		t.Errorf("2+3 = %s", got)
+	}
+	eq, err := rw.Normalize(term.Mk("EQ", spec.NatTerm(4), term.Mk("PLUS", spec.NatTerm(2), spec.NatTerm(2))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.Equal(eq, term.Const("TRUE")) {
+		t.Errorf("EQ(4, 2+2) = %s", eq)
+	}
+	ne, err := rw.Normalize(term.Mk("EQ", spec.NatTerm(1), spec.NatTerm(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.Equal(ne, term.Const("FALSE")) {
+		t.Errorf("EQ(1, 2) = %s", ne)
+	}
+}
+
+// TestSetEquations checks the two INS equations of Section 2.1: insertion
+// order and duplicates do not matter — the quotient term algebra identifies
+// all insertion chains denoting the same finite set.
+func TestSetEquations(t *testing.T) {
+	rw := New(natSetSpec(t), 0)
+	a := spec.SetTerm(spec.NatTerm(1), spec.NatTerm(2), spec.NatTerm(3))
+	b := spec.SetTerm(spec.NatTerm(3), spec.NatTerm(1), spec.NatTerm(2), spec.NatTerm(1), spec.NatTerm(3))
+	eq, err := rw.Equiv(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		na, _ := rw.Normalize(a)
+		nb, _ := rw.Normalize(b)
+		t.Errorf("set terms should be equal:\n  %s\n  %s", na, nb)
+	}
+	c := spec.SetTerm(spec.NatTerm(1), spec.NatTerm(2))
+	if eq, _ := rw.Equiv(a, c); eq {
+		t.Error("different sets identified")
+	}
+}
+
+// TestMemTotal: MEM is a total boolean function on finite sets — TRUE for
+// members, FALSE for non-members, no junk normal forms.
+func TestMemTotal(t *testing.T) {
+	rw := New(natSetSpec(t), 0)
+	s := spec.SetTerm(spec.NatTerm(1), spec.NatTerm(3), spec.NatTerm(5))
+	for i := 0; i <= 6; i++ {
+		got, err := rw.Normalize(term.Mk("MEM", spec.NatTerm(i), s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := term.Const("FALSE")
+		if i == 1 || i == 3 || i == 5 {
+			want = term.Const("TRUE")
+		}
+		if !term.Equal(got, term.Term(want)) {
+			t.Errorf("MEM(%d, {1,3,5}) = %s", i, got)
+		}
+	}
+	// the empty set
+	if got, _ := rw.Normalize(term.Mk("MEM", spec.NatTerm(0), term.Const("EMPTY"))); !term.Equal(got, term.Const("FALSE")) {
+		t.Errorf("MEM(0, EMPTY) = %s", got)
+	}
+}
+
+// TestSetCanonicalProperty: random insertion sequences with the same
+// underlying set share one normal form (property-based E1 check).
+func TestSetCanonicalProperty(t *testing.T) {
+	sp := natSetSpec(t)
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		elems := make([]int, n)
+		for i := range elems {
+			elems[i] = r.Intn(5)
+		}
+		mkChain := func(order []int) term.Term {
+			ts := make([]term.Term, len(order))
+			for i, idx := range order {
+				ts[i] = spec.NatTerm(elems[idx])
+			}
+			return spec.SetTerm(ts...)
+		}
+		id := make([]int, n)
+		for i := range id {
+			id[i] = i
+		}
+		shuffled := append([]int(nil), id...)
+		r.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// also duplicate a random element
+		withDup := append(append([]int(nil), shuffled...), shuffled[r.Intn(n)])
+		rw := New(sp, 0)
+		eq1, err := rw.Equiv(mkChain(id), mkChain(shuffled))
+		if err != nil {
+			return false
+		}
+		eq2, err := rw.Equiv(mkChain(id), mkChain(withDup))
+		if err != nil {
+			return false
+		}
+		return eq1 && eq2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemMatchesValueSets: the specification's MEM agrees with the value
+// model's set membership on random data — the spec level and the value
+// level of this repository describe the same data type.
+func TestMemMatchesValueSets(t *testing.T) {
+	sp := natSetSpec(t)
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(6)
+		in := map[int]bool{}
+		var ts []term.Term
+		for i := 0; i < n; i++ {
+			v := r.Intn(6)
+			in[v] = true
+			ts = append(ts, spec.NatTerm(v))
+		}
+		rw := New(sp, 0)
+		probe := r.Intn(8)
+		got, err := rw.Normalize(term.Mk("MEM", spec.NatTerm(probe), spec.SetTerm(ts...)))
+		if err != nil {
+			return false
+		}
+		want := "FALSE"
+		if in[probe] {
+			want = "TRUE"
+		}
+		return term.Equal(got, term.Const(want))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConditionalRewriting exercises a generalized conditional equation with
+// a disequation premise, the Section 2.2 mechanism, in its operational
+// reading: f(x) rewrites to TRUE only when x ≠ ZERO.
+func TestConditionalRewriting(t *testing.T) {
+	sig := term.NewSignature()
+	sig.AddSort("nat")
+	sig.AddSort("bool")
+	for _, op := range []struct {
+		n string
+		a []string
+		r string
+	}{
+		{"ZERO", nil, "nat"}, {"SUCC", []string{"nat"}, "nat"},
+		{"TRUE", nil, "bool"}, {"FALSE", nil, "bool"},
+		{"NONZERO", []string{"nat"}, "bool"},
+	} {
+		if err := sig.AddOp(op.n, op.a, op.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := term.Var{Name: "x", Sort: "nat"}
+	sp := &spec.Spec{Name: "COND", Sig: sig, Eqns: []spec.Equation{
+		{Conds: []spec.Cond{{L: x, R: term.Const("ZERO"), Negated: true}},
+			Lhs: term.Mk("NONZERO", x), Rhs: term.Const("TRUE")},
+		{Conds: []spec.Cond{{L: x, R: term.Const("ZERO")}},
+			Lhs: term.Mk("NONZERO", x), Rhs: term.Const("FALSE")},
+	}}
+	if !sp.HasNegation() {
+		t.Error("spec should report negation")
+	}
+	rw := New(sp, 0)
+	if got, _ := rw.Normalize(term.Mk("NONZERO", spec.NatTerm(2))); !term.Equal(got, term.Const("TRUE")) {
+		t.Errorf("NONZERO(2) = %s", got)
+	}
+	if got, _ := rw.Normalize(term.Mk("NONZERO", term.Const("ZERO"))); !term.Equal(got, term.Const("FALSE")) {
+		t.Errorf("NONZERO(0) = %s", got)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	// A deliberately non-terminating rule: LOOP = SUCC(LOOP) read forward.
+	sig := term.NewSignature()
+	sig.AddSort("nat")
+	if err := sig.AddOp("LOOP", nil, "nat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sig.AddOp("SUCC", []string{"nat"}, "nat"); err != nil {
+		t.Fatal(err)
+	}
+	sp := &spec.Spec{Name: "LOOPY", Sig: sig, Eqns: []spec.Equation{
+		{Lhs: term.Const("LOOP"), Rhs: term.Mk("SUCC", term.Const("LOOP"))},
+	}}
+	rw := New(sp, 100)
+	_, err := rw.Normalize(term.Const("LOOP"))
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	if rw.Steps() == 0 {
+		t.Error("Steps not counted")
+	}
+}
+
+func TestOpenTermsAreInert(t *testing.T) {
+	rw := New(spec.NatSpec(), 0)
+	x := term.Var{Name: "x", Sort: "nat"}
+	got, err := rw.Normalize(term.Mk("PLUS", term.Const("ZERO"), x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.Equal(got, x) {
+		t.Errorf("PLUS(ZERO, x) = %s, want x", got)
+	}
+}
+
+func TestSpecStringAndImportErrors(t *testing.T) {
+	sp := natSetSpec(t)
+	s := sp.String()
+	for _, want := range []string{"SET(nat)", "INS: nat, set(nat) -> set(nat)", "MEM(d, EMPTY) = FALSE"} {
+		if !containsStr(s, want) {
+			t.Errorf("Spec.String missing %q:\n%s", want, s)
+		}
+	}
+	// validate catches ill-sorted equations
+	bad := &spec.Spec{Name: "BAD", Sig: sp.Sig, Eqns: []spec.Equation{
+		{Lhs: term.Const("TRUE"), Rhs: term.Const("EMPTY")},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("ill-sorted equation accepted")
+	}
+	// the totality equation is well-formed and negated
+	tot := spec.MemTotalityEquation("nat")
+	if !tot.HasNegation() {
+		t.Error("totality equation should be negated")
+	}
+	sp2 := &spec.Spec{Name: "TOT", Sig: sp.Sig, Eqns: []spec.Equation{tot}}
+	if err := sp2.Validate(); err != nil {
+		t.Errorf("totality equation ill-formed: %v", err)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,132 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"algrec/internal/spec"
+	"algrec/internal/term"
+	"algrec/internal/value"
+)
+
+func setOpsRewriter(t *testing.T) *Rewriter {
+	t.Helper()
+	base, err := spec.SetSpec(spec.NatSpec(), "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.SetOpsSpec(base, "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return New(sp, 0)
+}
+
+func natSet(ns ...int) term.Term {
+	ts := make([]term.Term, len(ns))
+	for i, n := range ns {
+		ts[i] = spec.NatTerm(n)
+	}
+	return spec.SetTerm(ts...)
+}
+
+func TestSetOpsBasics(t *testing.T) {
+	rw := setOpsRewriter(t)
+	cases := []struct {
+		name string
+		expr term.Term
+		want term.Term
+	}{
+		{"union", term.Mk("UNION", natSet(1, 2), natSet(2, 3)), natSet(1, 2, 3)},
+		{"union empty left", term.Mk("UNION", natSet(), natSet(1)), natSet(1)},
+		{"del", term.Mk("DEL", spec.NatTerm(2), natSet(1, 2, 3)), natSet(1, 3)},
+		{"del absent", term.Mk("DEL", spec.NatTerm(9), natSet(1, 2)), natSet(1, 2)},
+		{"diff", term.Mk("DIFF", natSet(1, 2, 3), natSet(2)), natSet(1, 3)},
+		{"diff all", term.Mk("DIFF", natSet(1, 2), natSet(1, 2, 3)), natSet()},
+		{"intersect", term.Mk("INTERSECT", natSet(1, 2, 3), natSet(2, 3, 4)), natSet(2, 3)},
+		{"intersect disjoint", term.Mk("INTERSECT", natSet(1), natSet(2)), natSet()},
+	}
+	for _, c := range cases {
+		eq, err := rw.Equiv(c.expr, c.want)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if !eq {
+			got, _ := rw.Normalize(c.expr)
+			t.Errorf("%s: %s normalizes to %s", c.name, c.expr, got)
+		}
+	}
+}
+
+// TestSetOpsMatchValueModel: the specification-level operators and the
+// value-level operators of internal/value compute the same sets — the two
+// layers of this repository describe one data type (property-based).
+func TestSetOpsMatchValueModel(t *testing.T) {
+	base, err := spec.SetSpec(spec.NatSpec(), "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.SetOpsSpec(base, "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() ([]int, value.Set, term.Term) {
+			n := r.Intn(5)
+			ns := make([]int, n)
+			vs := make([]value.Value, n)
+			ts := make([]term.Term, n)
+			for i := range ns {
+				ns[i] = r.Intn(5)
+				vs[i] = value.Int(int64(ns[i]))
+				ts[i] = spec.NatTerm(ns[i])
+			}
+			return ns, value.NewSet(vs...), spec.SetTerm(ts...)
+		}
+		_, va, ta := mk()
+		_, vb, tb := mk()
+		rw := New(sp, 0)
+		check := func(op string, want value.Set) bool {
+			got, err := rw.Normalize(term.Mk(op, ta, tb))
+			if err != nil {
+				return false
+			}
+			// rebuild the expected term and compare normal forms
+			elems := want.Elems()
+			ts := make([]term.Term, len(elems))
+			for i, e := range elems {
+				ts[i] = spec.NatTerm(int(e.(value.Int)))
+			}
+			wantT, err := rw.Normalize(spec.SetTerm(ts...))
+			if err != nil {
+				return false
+			}
+			return term.Equal(got, wantT)
+		}
+		return check("UNION", va.Union(vb)) &&
+			check("DIFF", va.Diff(vb)) &&
+			check("INTERSECT", va.Intersect(vb))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetOpsErrors(t *testing.T) {
+	if _, err := spec.SetOpsSpec(spec.NatSpec(), "nat", "EQ"); err == nil {
+		t.Error("SetOpsSpec accepted a spec without the set sort")
+	}
+	base, err := spec.SetSpec(spec.NatSpec(), "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.SetOpsSpec(base, "nat", "NOSUCH"); err == nil {
+		t.Error("SetOpsSpec accepted a missing equality")
+	}
+}

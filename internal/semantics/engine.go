@@ -1,0 +1,395 @@
+package semantics
+
+import (
+	"errors"
+	"fmt"
+
+	"algrec/internal/datalog/ground"
+)
+
+// Engine evaluates a ground program under the different semantics. It
+// precomputes occurrence indexes so each least-fixpoint pass runs in time
+// linear in the size of the ground program.
+type Engine struct {
+	g      *ground.Program
+	posOcc [][]int // atom id -> indices of rules where it occurs positively
+	negOcc [][]int // atom id -> indices of rules where it occurs negatively
+	hasNeg bool
+}
+
+// NewEngine builds an engine for the ground program.
+func NewEngine(g *ground.Program) *Engine {
+	e := &Engine{
+		g:      g,
+		posOcc: make([][]int, g.NumAtoms()),
+		negOcc: make([][]int, g.NumAtoms()),
+	}
+	for ri, r := range g.Rules {
+		for _, a := range r.Pos {
+			e.posOcc[a] = append(e.posOcc[a], ri)
+		}
+		for _, a := range r.Neg {
+			e.negOcc[a] = append(e.negOcc[a], ri)
+			e.hasNeg = true
+		}
+	}
+	return e
+}
+
+// Ground returns the engine's ground program.
+func (e *Engine) Ground() *ground.Program { return e.g }
+
+// lfp computes the least fixpoint of the positive parts of the enabled rules:
+// an atom is derived when some enabled rule has all positive body atoms
+// derived (negative literals are ignored; callers encode them in enabled).
+// seed atoms are derived unconditionally. The returned slice is indexed by
+// atom id.
+func (e *Engine) lfp(enabled func(ruleIdx int) bool, seed []bool) []bool {
+	derived := make([]bool, e.g.NumAtoms())
+	missing := make([]int, len(e.g.Rules))
+	var queue []int
+	deriveAtom := func(a int) {
+		if derived[a] {
+			return
+		}
+		derived[a] = true
+		queue = append(queue, a)
+	}
+	for ri, r := range e.g.Rules {
+		if !enabled(ri) {
+			missing[ri] = -1
+			continue
+		}
+		missing[ri] = len(r.Pos)
+		if missing[ri] == 0 {
+			deriveAtom(r.Head)
+		}
+	}
+	if seed != nil {
+		for a, ok := range seed {
+			if ok {
+				deriveAtom(a)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		a := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ri := range e.posOcc[a] {
+			if missing[ri] <= 0 {
+				continue
+			}
+			missing[ri]--
+			if missing[ri] == 0 {
+				deriveAtom(e.g.Rules[ri].Head)
+			}
+		}
+	}
+	return derived
+}
+
+// gamma computes Γ(J): the least fixpoint of the program where a negative
+// literal ¬a holds iff a ∉ J. Γ is the antimonotone operator whose
+// alternating iteration yields the well-founded model, and which the paper's
+// Section 2.2 uses to describe the valid-model computation ("only facts not
+// in T are allowed to be used negatively").
+func (e *Engine) gamma(j []bool) []bool {
+	return e.lfp(func(ri int) bool {
+		for _, a := range e.g.Rules[ri].Neg {
+			if j[a] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+}
+
+// ErrNotPositive is returned by Minimal and MinimalNaive for programs with
+// negative literals.
+var ErrNotPositive = errors.New("semantics: program is not positive (has negative literals)")
+
+// Minimal computes the minimal model of a positive ground program by the
+// semi-naive least fixpoint.
+func (e *Engine) Minimal() (*Interp, error) {
+	if e.hasNeg {
+		return nil, ErrNotPositive
+	}
+	derived := e.lfp(func(int) bool { return true }, nil)
+	return e.twoValued(derived), nil
+}
+
+// MinimalNaive computes the minimal model of a positive ground program by
+// naive iteration (full re-application of all rules each round). It exists
+// as the baseline for the semi-naive benchmark (experiment P1).
+func (e *Engine) MinimalNaive() (*Interp, error) {
+	if e.hasNeg {
+		return nil, ErrNotPositive
+	}
+	derived := make([]bool, e.g.NumAtoms())
+	for {
+		changed := false
+		for _, r := range e.g.Rules {
+			ok := true
+			for _, a := range r.Pos {
+				if !derived[a] {
+					ok = false
+					break
+				}
+			}
+			if ok && !derived[r.Head] {
+				derived[r.Head] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return e.twoValued(derived), nil
+}
+
+func (e *Engine) twoValued(derived []bool) *Interp {
+	in := NewInterp(e.g, False)
+	for a, ok := range derived {
+		if ok {
+			in.Set(a, True)
+		}
+	}
+	return in
+}
+
+// Inflationary computes the inflationary fixpoint semantics: starting from
+// the database facts (bodyless rules — the given structure, step 0), each
+// step fires every rule whose positive body is already derived and whose
+// negative body atoms are *not derived so far* (at the start of the step),
+// accumulating heads. It returns the model and the number of steps to
+// convergence after step 0 (used by the Proposition 5.2 step-index bound,
+// whose construction likewise places facts at index 0).
+func (e *Engine) Inflationary() (*Interp, int) {
+	cur := make([]bool, e.g.NumAtoms())
+	for _, r := range e.g.Rules {
+		if len(r.Pos) == 0 && len(r.Neg) == 0 {
+			cur[r.Head] = true
+		}
+	}
+	steps := 0
+	for {
+		var added []int
+		for _, r := range e.g.Rules {
+			if cur[r.Head] {
+				continue
+			}
+			ok := true
+			for _, a := range r.Pos {
+				if !cur[a] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, a := range r.Neg {
+				if cur[a] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				added = append(added, r.Head)
+			}
+		}
+		newAny := false
+		for _, a := range added {
+			if !cur[a] {
+				cur[a] = true
+				newAny = true
+			}
+		}
+		if !newAny {
+			break
+		}
+		steps++
+	}
+	return e.twoValued(cur), steps
+}
+
+// WellFounded computes the well-founded model by the alternating fixpoint:
+// T_{k+1} = Γ(Γ(T_k)) ascending from ∅, with U = Γ(T) the final upper bound.
+// True atoms are T, false atoms are those outside U, the rest are undefined.
+func (e *Engine) WellFounded() *Interp {
+	t := make([]bool, e.g.NumAtoms())
+	var u []bool
+	for {
+		u = e.gamma(t)
+		t2 := e.gamma(u)
+		if sameSet(t, t2) {
+			break
+		}
+		t = t2
+	}
+	in := NewInterp(e.g, Undef)
+	for a := range t {
+		switch {
+		case t[a]:
+			in.Set(a, True)
+		case !u[a]:
+			in.Set(a, False)
+		}
+	}
+	return in
+}
+
+// Valid computes the valid model by the iterative procedure of the paper's
+// Section 2.2, kept deliberately close to the prose: starting with all facts
+// undefined, repeatedly (i) find every fact derivable in a computation that
+// uses negatively only facts not currently true — facts not so derivable are
+// certainly false; (ii) derive new true facts using negatively only the
+// certainly-false facts; until no more true facts appear.
+func (e *Engine) Valid() *Interp {
+	n := e.g.NumAtoms()
+	t := make([]bool, n) // certainly true
+	f := make([]bool, n) // certainly false
+	for {
+		// (i) possible facts: derivations may use ¬a only when a ∉ T.
+		poss := e.gamma(t)
+		for a := 0; a < n; a++ {
+			if !poss[a] {
+				f[a] = true
+			}
+		}
+		// (ii) new true facts: derivations start from T and may use ¬a only
+		// when a is certainly false.
+		t2 := e.lfp(func(ri int) bool {
+			for _, a := range e.g.Rules[ri].Neg {
+				if !f[a] {
+					return false
+				}
+			}
+			return true
+		}, t)
+		if sameSet(t, t2) {
+			break
+		}
+		t = t2
+	}
+	in := NewInterp(e.g, Undef)
+	for a := 0; a < n; a++ {
+		switch {
+		case t[a]:
+			in.Set(a, True)
+		case f[a]:
+			in.Set(a, False)
+		}
+	}
+	return in
+}
+
+// Stratified evaluates the program stratum by stratum: the minimal model of
+// each stratum is computed with negative literals resolved against the
+// completed lower strata. stratumOf maps each predicate to its stratum; it
+// comes from datalog.Stratify on the non-ground program.
+func (e *Engine) Stratified(stratumOf map[string]int) (*Interp, error) {
+	max := 0
+	for _, s := range stratumOf {
+		if s > max {
+			max = s
+		}
+	}
+	headStratum := make([]int, len(e.g.Rules))
+	for ri, r := range e.g.Rules {
+		s, ok := stratumOf[e.g.Atom(r.Head).Pred]
+		if !ok {
+			return nil, fmt.Errorf("semantics: predicate %s has no stratum", e.g.Atom(r.Head).Pred)
+		}
+		headStratum[ri] = s
+		for _, a := range r.Neg {
+			ns, ok := stratumOf[e.g.Atom(a).Pred]
+			if !ok {
+				return nil, fmt.Errorf("semantics: predicate %s has no stratum", e.g.Atom(a).Pred)
+			}
+			if ns >= s {
+				return nil, fmt.Errorf("semantics: not a stratification: %s (stratum %d) negated in a rule for stratum %d", e.g.Atom(a).Pred, ns, s)
+			}
+		}
+	}
+	derived := make([]bool, e.g.NumAtoms())
+	for s := 0; s <= max; s++ {
+		stratum := s
+		derived = e.lfp(func(ri int) bool {
+			if headStratum[ri] > stratum {
+				return false
+			}
+			for _, a := range e.g.Rules[ri].Neg {
+				if derived[a] {
+					return false
+				}
+			}
+			return true
+		}, derived)
+	}
+	return e.twoValued(derived), nil
+}
+
+// ErrTooManyUndef is returned by StableModels when the residual left by the
+// well-founded model is larger than the caller's bound.
+var ErrTooManyUndef = errors.New("semantics: too many undefined atoms for stable-model search")
+
+// StableModels enumerates all stable models (Gelfond–Lifschitz) of the ground
+// program. It first computes the well-founded model — which every stable
+// model extends — then searches assignments of the undefined atoms,
+// returning one two-valued Interp per stable model, in a deterministic
+// order. If more than maxUndef atoms are undefined it returns
+// ErrTooManyUndef rather than attempting an exponential search.
+func (e *Engine) StableModels(maxUndef int) ([]*Interp, error) {
+	wf := e.WellFounded()
+	undef := wf.UndefAtoms()
+	if len(undef) > maxUndef {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyUndef, len(undef), maxUndef)
+	}
+	base := make([]bool, e.g.NumAtoms())
+	for a := 0; a < e.g.NumAtoms(); a++ {
+		if wf.Truth(a) == True {
+			base[a] = true
+		}
+	}
+	var models []*Interp
+	n := len(undef)
+	total := 1 << n
+	for mask := 0; mask < total; mask++ {
+		cand := make([]bool, len(base))
+		copy(cand, base)
+		for i, a := range undef {
+			if mask&(1<<i) != 0 {
+				cand[a] = true
+			}
+		}
+		if e.isStable(cand) {
+			models = append(models, e.twoValued(cand))
+		}
+	}
+	return models, nil
+}
+
+// isStable checks the Gelfond–Lifschitz condition: the least model of the
+// reduct P^M equals M.
+func (e *Engine) isStable(m []bool) bool {
+	red := e.lfp(func(ri int) bool {
+		for _, a := range e.g.Rules[ri].Neg {
+			if m[a] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	return sameSet(red, m)
+}
+
+func sameSet(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

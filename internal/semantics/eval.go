@@ -1,0 +1,91 @@
+package semantics
+
+import (
+	"fmt"
+
+	"algrec/internal/datalog"
+	"algrec/internal/datalog/ground"
+)
+
+// Semantics selects an evaluation semantics for Eval.
+type Semantics uint8
+
+// The available semantics.
+const (
+	// SemMinimal is the minimal model of a positive program.
+	SemMinimal Semantics = iota
+	// SemStratified is stratum-by-stratum minimal-model evaluation.
+	SemStratified
+	// SemInflationary is the inflationary fixpoint semantics, where negation
+	// reads "was not derived so far".
+	SemInflationary
+	// SemWellFounded is the well-founded semantics (alternating fixpoint).
+	SemWellFounded
+	// SemValid is the valid semantics, computed by the Section 2.2 procedure.
+	SemValid
+)
+
+// String returns the semantics' conventional name.
+func (s Semantics) String() string {
+	switch s {
+	case SemMinimal:
+		return "minimal"
+	case SemStratified:
+		return "stratified"
+	case SemInflationary:
+		return "inflationary"
+	case SemWellFounded:
+		return "well-founded"
+	case SemValid:
+		return "valid"
+	default:
+		return fmt.Sprintf("Semantics(%d)", uint8(s))
+	}
+}
+
+// ParseSemantics maps a name accepted on command lines to a Semantics.
+func ParseSemantics(name string) (Semantics, error) {
+	switch name {
+	case "minimal":
+		return SemMinimal, nil
+	case "stratified":
+		return SemStratified, nil
+	case "inflationary":
+		return SemInflationary, nil
+	case "wellfounded", "well-founded", "wfs":
+		return SemWellFounded, nil
+	case "valid":
+		return SemValid, nil
+	default:
+		return 0, fmt.Errorf("semantics: unknown semantics %q (want minimal, stratified, inflationary, wellfounded or valid)", name)
+	}
+}
+
+// Eval grounds the program under the budget and evaluates it under the given
+// semantics. For SemStratified the program must be stratifiable.
+func Eval(p *datalog.Program, sem Semantics, budget ground.Budget) (*Interp, error) {
+	g, err := ground.Ground(p, budget)
+	if err != nil {
+		return nil, err
+	}
+	e := NewEngine(g)
+	switch sem {
+	case SemMinimal:
+		return e.Minimal()
+	case SemStratified:
+		strat, err := datalog.Stratify(p)
+		if err != nil {
+			return nil, err
+		}
+		return e.Stratified(strat)
+	case SemInflationary:
+		in, _ := e.Inflationary()
+		return in, nil
+	case SemWellFounded:
+		return e.WellFounded(), nil
+	case SemValid:
+		return e.Valid(), nil
+	default:
+		return nil, fmt.Errorf("semantics: unknown semantics %v", sem)
+	}
+}

@@ -1,0 +1,60 @@
+package semantics
+
+import (
+	"testing"
+
+	"algrec/internal/datalog"
+	"algrec/internal/datalog/ground"
+)
+
+// TestSamePred compares interpretations across *different* ground programs:
+// facts interned in one but not the other count as certainly false there.
+func TestSamePred(t *testing.T) {
+	mk := func(src string) *Interp {
+		t.Helper()
+		p := datalog.MustParse(src)
+		g, err := ground.Ground(p, ground.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewEngine(g).Valid()
+	}
+	// Same tc relation, derived through different rule shapes (left- vs
+	// right-linear recursion) over different ground programs.
+	a := mk("e(1, 2). e(2, 3).\ntc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).")
+	b := mk("e(1, 2). e(2, 3).\ntc(X, Y) :- e(X, Y).\ntc(X, Z) :- e(X, Y), tc(Y, Z).")
+	if !SamePred(a, b, "tc") {
+		t.Error("left- and right-linear TC should agree")
+	}
+	// A genuinely different relation disagrees.
+	c := mk("e(1, 2). e(2, 3).\ntc(X, Y) :- e(X, Y).")
+	if SamePred(a, c, "tc") {
+		t.Error("TC and its base should differ")
+	}
+	// Undefinedness must match, not just truth.
+	d1 := mk("move(a, a).\nwin(X) :- move(X, Y), not win(Y).")
+	d2 := mk("move(a, b).\nwin(X) :- move(X, Y), not win(Y).")
+	if SamePred(d1, d2, "win") {
+		t.Error("undefined win(a) vs true win(a) should differ")
+	}
+	if !SamePred(d1, d1, "win") {
+		t.Error("an interpretation should agree with itself")
+	}
+}
+
+func TestSameTruthsDifferentSizes(t *testing.T) {
+	mk := func(src string) *Interp {
+		t.Helper()
+		p := datalog.MustParse(src)
+		g, err := ground.Ground(p, ground.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewEngine(g).Valid()
+	}
+	a := mk("p(1).")
+	b := mk("p(1). q(2).")
+	if SameTruths(a, b) {
+		t.Error("interpretations over different universes must not compare equal")
+	}
+}

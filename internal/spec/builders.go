@@ -1,0 +1,160 @@
+package spec
+
+import (
+	"fmt"
+
+	"algrec/internal/term"
+)
+
+// BoolSpec returns the specification of the booleans: sort bool with
+// constants TRUE and FALSE, NOT, and the conditional IF: bool,bool,bool→bool
+// used by MEM. Booleans are ordinary values here — which is precisely why
+// the paper needs negation to define MEM totally.
+func BoolSpec() *Spec {
+	sig := term.NewSignature()
+	sig.AddSort("bool")
+	mustOp(sig, "TRUE", nil, "bool")
+	mustOp(sig, "FALSE", nil, "bool")
+	mustOp(sig, "NOT", []string{"bool"}, "bool")
+	mustOp(sig, "IF", []string{"bool", "bool", "bool"}, "bool")
+	b := func(n string) term.Term { return term.Const(n) }
+	x := term.Var{Name: "x", Sort: "bool"}
+	y := term.Var{Name: "y", Sort: "bool"}
+	return &Spec{
+		Name: "BOOL",
+		Sig:  sig,
+		Eqns: []Equation{
+			{Lhs: term.Mk("NOT", b("TRUE")), Rhs: b("FALSE")},
+			{Lhs: term.Mk("NOT", b("FALSE")), Rhs: b("TRUE")},
+			{Lhs: term.Mk("IF", b("TRUE"), x, y), Rhs: x},
+			{Lhs: term.Mk("IF", b("FALSE"), x, y), Rhs: y},
+		},
+	}
+}
+
+// NatSpec returns the specification of the natural numbers with ZERO, SUCC,
+// PLUS and the equality predicate EQ: nat,nat→bool (a specification for sets
+// of some element type may contain MEM iff equality is definable on the
+// type — the paper's footnote 1).
+func NatSpec() *Spec {
+	b, err := Import("NAT", BoolSpec(), natOnly())
+	if err != nil {
+		panic(err) // static specification; cannot fail
+	}
+	return b
+}
+
+func natOnly() *Spec {
+	sig := term.NewSignature()
+	sig.AddSort("nat")
+	sig.AddSort("bool")
+	mustOp(sig, "ZERO", nil, "nat")
+	mustOp(sig, "SUCC", []string{"nat"}, "nat")
+	mustOp(sig, "PLUS", []string{"nat", "nat"}, "nat")
+	mustOp(sig, "EQ", []string{"nat", "nat"}, "bool")
+	x := term.Var{Name: "x", Sort: "nat"}
+	y := term.Var{Name: "y", Sort: "nat"}
+	z := term.Const("ZERO")
+	s := func(t term.Term) term.Term { return term.Mk("SUCC", t) }
+	return &Spec{
+		Name: "NATCORE",
+		Sig:  sig,
+		Eqns: []Equation{
+			{Lhs: term.Mk("PLUS", z, y), Rhs: y},
+			{Lhs: term.Mk("PLUS", s(x), y), Rhs: s(term.Mk("PLUS", x, y))},
+			{Lhs: term.Mk("EQ", z, z), Rhs: term.Const("TRUE")},
+			{Lhs: term.Mk("EQ", s(x), z), Rhs: term.Const("FALSE")},
+			{Lhs: term.Mk("EQ", z, s(y)), Rhs: term.Const("FALSE")},
+			{Lhs: term.Mk("EQ", s(x), s(y)), Rhs: term.Mk("EQ", x, y)},
+		},
+	}
+}
+
+// NatTerm builds the numeral SUCC^n(ZERO).
+func NatTerm(n int) term.Term {
+	t := term.Term(term.Const("ZERO"))
+	for i := 0; i < n; i++ {
+		t = term.Mk("SUCC", t)
+	}
+	return t
+}
+
+// SetSpec returns the paper's parameterized SET(data) specification
+// instantiated at the given element specification: sort set(data) with
+// EMPTY, INS and MEM, and the four equations of Section 2.1. The element
+// specification must define the given sort and an equality operation
+// eqOp: data,data → bool. The INS commutativity equation is marked Ordered
+// so rewriting terminates with a canonical (sorted) insertion chain.
+func SetSpec(elem *Spec, dataSort, eqOp string) (*Spec, error) {
+	if !elem.Sig.HasSort(dataSort) {
+		return nil, fmt.Errorf("spec: element spec %s does not define sort %q", elem.Name, dataSort)
+	}
+	d, ok := elem.Sig.Op(eqOp)
+	if !ok {
+		return nil, fmt.Errorf("spec: element spec %s does not define equality %q", elem.Name, eqOp)
+	}
+	if len(d.Args) != 2 || d.Args[0] != dataSort || d.Args[1] != dataSort || d.Result != "bool" {
+		return nil, fmt.Errorf("spec: %q is not an equality on %s (have %s)", eqOp, dataSort, d)
+	}
+	setSort := "set(" + dataSort + ")"
+	sig := term.NewSignature()
+	sig.AddSort(dataSort)
+	sig.AddSort("bool")
+	sig.AddSort(setSort)
+	mustOp(sig, "EMPTY", nil, setSort)
+	mustOp(sig, "INS", []string{dataSort, setSort}, setSort)
+	mustOp(sig, "MEM", []string{dataSort, setSort}, "bool")
+	dv := term.Var{Name: "d", Sort: dataSort}
+	dv2 := term.Var{Name: "d2", Sort: dataSort}
+	sv := term.Var{Name: "s", Sort: setSort}
+	setCore := &Spec{
+		Name: "SET(" + dataSort + ")",
+		Sig:  sig,
+		Eqns: []Equation{
+			// INS(d, INS(d, s)) = INS(d, s)
+			{Lhs: term.Mk("INS", dv, term.Mk("INS", dv, sv)), Rhs: term.Mk("INS", dv, sv)},
+			// INS(d, INS(d2, s)) = INS(d2, INS(d, s)), applied only when it
+			// decreases the term order (permutative equation).
+			{Lhs: term.Mk("INS", dv, term.Mk("INS", dv2, sv)),
+				Rhs: term.Mk("INS", dv2, term.Mk("INS", dv, sv)), Ordered: true},
+			// MEM(d, EMPTY) = FALSE
+			{Lhs: term.Mk("MEM", dv, term.Const("EMPTY")), Rhs: term.Const("FALSE")},
+			// MEM(d, INS(d2, s)) = IF EQ(d, d2) THEN TRUE ELSE MEM(d, s)
+			{Lhs: term.Mk("MEM", dv, term.Mk("INS", dv2, sv)),
+				Rhs: term.Mk("IF", term.Mk(eqOp, dv, dv2), term.Const("TRUE"), term.Mk("MEM", dv, sv))},
+		},
+	}
+	return Import("SET("+dataSort+")", elem, BoolSpec(), setCore)
+}
+
+// MemTotalityEquation returns the Section 2.2 generalized conditional
+// equation MEM(x, y) ≠ TRUE → MEM(x, y) = FALSE, which the paper adds as "a
+// fixed part of the specification of sets and set operations" so MEM is
+// total on infinite sets too. It brings negation into the specification, so
+// a spec containing it must be interpreted under the valid-model semantics.
+func MemTotalityEquation(dataSort string) Equation {
+	x := term.Var{Name: "x", Sort: dataSort}
+	y := term.Var{Name: "y", Sort: "set(" + dataSort + ")"}
+	mem := term.Mk("MEM", x, y)
+	return Equation{
+		Conds: []Cond{{L: mem, R: term.Const("TRUE"), Negated: true}},
+		Lhs:   mem,
+		Rhs:   term.Const("FALSE"),
+	}
+}
+
+// SetTerm builds the term INS(e1, INS(e2, ..., EMPTY)) — the paper's
+// {x1, ..., xn} shorthand.
+func SetTerm(elems ...term.Term) term.Term {
+	t := term.Term(term.Const("EMPTY"))
+	for i := len(elems) - 1; i >= 0; i-- {
+		t = term.Mk("INS", elems[i], t)
+	}
+	return t
+}
+
+func mustOp(sig *term.Signature, name string, args []string, result string) {
+	if err := sig.AddOp(name, args, result); err != nil {
+		panic(err) // static specifications; cannot fail
+	}
+}

@@ -1,0 +1,200 @@
+package spec
+
+import (
+	"fmt"
+
+	"algrec/internal/term"
+)
+
+// This file adds the other structured types the paper's Section 2.1 names —
+// "structured types like sets, lists, stacks, and so on, can be so defined"
+// — plus the machinery its footnote 1 alludes to: a specification for sets
+// over an element type may contain MEM iff equality is definable on the
+// type, and defining equality on set(nat) lets SET be instantiated at
+// set(nat) itself, giving nested sets.
+
+// BoolOpsSpec extends BOOL with AND and OR; list/stack equality and the
+// subset-based set equality need them.
+func BoolOpsSpec() *Spec {
+	b := BoolSpec()
+	mustOp(b.Sig, "AND", []string{"bool", "bool"}, "bool")
+	mustOp(b.Sig, "OR", []string{"bool", "bool"}, "bool")
+	x := term.Var{Name: "x", Sort: "bool"}
+	tr, fa := term.Const("TRUE"), term.Const("FALSE")
+	b.Eqns = append(b.Eqns,
+		Equation{Lhs: term.Mk("AND", tr, x), Rhs: x},
+		Equation{Lhs: term.Mk("AND", fa, x), Rhs: term.Term(fa)},
+		Equation{Lhs: term.Mk("OR", tr, x), Rhs: term.Term(tr)},
+		Equation{Lhs: term.Mk("OR", fa, x), Rhs: x},
+	)
+	b.Name = "BOOLOPS"
+	return b
+}
+
+// ListSpec returns the specification of finite lists over the element
+// specification: NIL, CONS, HEADORD (head-or-default), TAIL, APPEND, LEN (as
+// nat) and elementwise equality EQLIST (definable because eqOp is equality
+// on the elements).
+func ListSpec(elem *Spec, dataSort, eqOp string) (*Spec, error) {
+	if !elem.Sig.HasSort(dataSort) {
+		return nil, fmt.Errorf("spec: element spec %s does not define sort %q", elem.Name, dataSort)
+	}
+	if _, ok := elem.Sig.Op(eqOp); !ok {
+		return nil, fmt.Errorf("spec: element spec %s does not define equality %q", elem.Name, eqOp)
+	}
+	listSort := "list(" + dataSort + ")"
+	sig := term.NewSignature()
+	sig.AddSort(dataSort)
+	sig.AddSort("bool")
+	sig.AddSort("nat")
+	sig.AddSort(listSort)
+	mustOp(sig, "NIL", nil, listSort)
+	mustOp(sig, "CONS", []string{dataSort, listSort}, listSort)
+	mustOp(sig, "APPEND", []string{listSort, listSort}, listSort)
+	mustOp(sig, "LEN", []string{listSort}, "nat")
+	mustOp(sig, "EQLIST", []string{listSort, listSort}, "bool")
+	d := term.Var{Name: "d", Sort: dataSort}
+	d2 := term.Var{Name: "d2", Sort: dataSort}
+	l := term.Var{Name: "l", Sort: listSort}
+	l2 := term.Var{Name: "l2", Sort: listSort}
+	nilT := term.Const("NIL")
+	core := &Spec{
+		Name: "LIST(" + dataSort + ")",
+		Sig:  sig,
+		Eqns: []Equation{
+			{Lhs: term.Mk("APPEND", nilT, l), Rhs: l},
+			{Lhs: term.Mk("APPEND", term.Mk("CONS", d, l), l2), Rhs: term.Mk("CONS", d, term.Mk("APPEND", l, l2))},
+			{Lhs: term.Mk("LEN", nilT), Rhs: term.Const("ZERO")},
+			{Lhs: term.Mk("LEN", term.Mk("CONS", d, l)), Rhs: term.Mk("SUCC", term.Mk("LEN", l))},
+			{Lhs: term.Mk("EQLIST", nilT, nilT), Rhs: term.Const("TRUE")},
+			{Lhs: term.Mk("EQLIST", nilT, term.Mk("CONS", d, l)), Rhs: term.Const("FALSE")},
+			{Lhs: term.Mk("EQLIST", term.Mk("CONS", d, l), nilT), Rhs: term.Const("FALSE")},
+			{Lhs: term.Mk("EQLIST", term.Mk("CONS", d, l), term.Mk("CONS", d2, l2)),
+				Rhs: term.Mk("AND", term.Mk(eqOp, d, d2), term.Mk("EQLIST", l, l2))},
+		},
+	}
+	return Import("LIST("+dataSort+")", elem, BoolOpsSpec(), NatSpec(), core)
+}
+
+// StackSpec returns the classic stack over the element specification:
+// EMPTYSTK, PUSH, POP, TOPORD (top-or-default, total via a default element),
+// ISEMPTY. POP(EMPTYSTK) = EMPTYSTK and TOPORD(EMPTYSTK) = default keep the
+// operations total, the usual algebraic treatment.
+func StackSpec(elem *Spec, dataSort, defaultConst string) (*Spec, error) {
+	if !elem.Sig.HasSort(dataSort) {
+		return nil, fmt.Errorf("spec: element spec %s does not define sort %q", elem.Name, dataSort)
+	}
+	dd, ok := elem.Sig.Op(defaultConst)
+	if !ok || dd.Arity() != 0 || dd.Result != dataSort {
+		return nil, fmt.Errorf("spec: %q is not a constant of sort %s", defaultConst, dataSort)
+	}
+	stkSort := "stack(" + dataSort + ")"
+	sig := term.NewSignature()
+	sig.AddSort(dataSort)
+	sig.AddSort("bool")
+	sig.AddSort(stkSort)
+	mustOp(sig, "EMPTYSTK", nil, stkSort)
+	mustOp(sig, "PUSH", []string{dataSort, stkSort}, stkSort)
+	mustOp(sig, "POP", []string{stkSort}, stkSort)
+	mustOp(sig, "TOPORD", []string{stkSort}, dataSort)
+	mustOp(sig, "ISEMPTY", []string{stkSort}, "bool")
+	d := term.Var{Name: "d", Sort: dataSort}
+	s := term.Var{Name: "s", Sort: stkSort}
+	empty := term.Const("EMPTYSTK")
+	core := &Spec{
+		Name: "STACK(" + dataSort + ")",
+		Sig:  sig,
+		Eqns: []Equation{
+			{Lhs: term.Mk("POP", empty), Rhs: term.Term(empty)},
+			{Lhs: term.Mk("POP", term.Mk("PUSH", d, s)), Rhs: s},
+			{Lhs: term.Mk("TOPORD", empty), Rhs: term.Const(defaultConst)},
+			{Lhs: term.Mk("TOPORD", term.Mk("PUSH", d, s)), Rhs: d},
+			{Lhs: term.Mk("ISEMPTY", empty), Rhs: term.Const("TRUE")},
+			{Lhs: term.Mk("ISEMPTY", term.Mk("PUSH", d, s)), Rhs: term.Const("FALSE")},
+		},
+	}
+	return Import("STACK("+dataSort+")", elem, BoolSpec(), core)
+}
+
+// WithSetEquality extends a SET(data) specification with subset and set
+// equality: SUBSET and EQSET. EQSET is the definable equality the paper's
+// footnote 1 requires before SET can be instantiated at set(data) itself —
+// see NestedSetSpec.
+func WithSetEquality(setSpec *Spec, dataSort string) (*Spec, error) {
+	setSort := "set(" + dataSort + ")"
+	if !setSpec.Sig.HasSort(setSort) {
+		return nil, fmt.Errorf("spec: %s does not define %s", setSpec.Name, setSort)
+	}
+	sig := term.NewSignature()
+	sig.AddSort(dataSort)
+	sig.AddSort("bool")
+	sig.AddSort(setSort)
+	mustOp(sig, "SUBSET", []string{setSort, setSort}, "bool")
+	mustOp(sig, "EQSET", []string{setSort, setSort}, "bool")
+	d := term.Var{Name: "d", Sort: dataSort}
+	s1 := term.Var{Name: "s1", Sort: setSort}
+	s2 := term.Var{Name: "s2", Sort: setSort}
+	core := &Spec{
+		Name: "SETEQ(" + dataSort + ")",
+		Sig:  sig,
+		Eqns: []Equation{
+			{Lhs: term.Mk("SUBSET", term.Const("EMPTY"), s2), Rhs: term.Const("TRUE")},
+			{Lhs: term.Mk("SUBSET", term.Mk("INS", d, s1), s2),
+				Rhs: term.Mk("AND", term.Mk("MEM", d, s2), term.Mk("SUBSET", s1, s2))},
+			{Lhs: term.Mk("EQSET", s1, s2),
+				Rhs: term.Mk("AND", term.Mk("SUBSET", s1, s2), term.Mk("SUBSET", s2, s1))},
+		},
+	}
+	return Import(setSpec.Name+"+EQ", setSpec, BoolOpsSpec(), core)
+}
+
+// NestedSetSpec instantiates the parameterized SET specification at
+// set(nat): sets of sets of naturals, with membership decided by the
+// *definable* set equality EQSET — the instantiation the paper's
+// parameterization story promises ("which can be instantiated by
+// substituting a concrete type for data").
+//
+// One caveat mirrors the footnote: INS at the outer level compares inner
+// sets with structural equality of canonical forms, so inner sets must be
+// normalized before being inserted; the rewriter does that automatically
+// because rewriting is innermost.
+func NestedSetSpec() (*Spec, error) {
+	inner, err := SetSpec(NatSpec(), "nat", "EQ")
+	if err != nil {
+		return nil, err
+	}
+	innerEq, err := WithSetEquality(inner, "nat")
+	if err != nil {
+		return nil, err
+	}
+	return setSpecNamed(innerEq, "set(nat)", "EQSET", "INS2", "MEM2", "EMPTY2")
+}
+
+// setSpecNamed is SetSpec with renamed operations, needed when instantiating
+// SET at a sort whose spec already uses the names EMPTY/INS/MEM.
+func setSpecNamed(elem *Spec, dataSort, eqOp, insName, memName, emptyName string) (*Spec, error) {
+	setSort := "set(" + dataSort + ")"
+	sig := term.NewSignature()
+	sig.AddSort(dataSort)
+	sig.AddSort("bool")
+	sig.AddSort(setSort)
+	mustOp(sig, emptyName, nil, setSort)
+	mustOp(sig, insName, []string{dataSort, setSort}, setSort)
+	mustOp(sig, memName, []string{dataSort, setSort}, "bool")
+	dv := term.Var{Name: "d", Sort: dataSort}
+	dv2 := term.Var{Name: "d2", Sort: dataSort}
+	sv := term.Var{Name: "s", Sort: setSort}
+	core := &Spec{
+		Name: "SET(" + dataSort + ")",
+		Sig:  sig,
+		Eqns: []Equation{
+			{Lhs: term.Mk(insName, dv, term.Mk(insName, dv, sv)), Rhs: term.Mk(insName, dv, sv)},
+			{Lhs: term.Mk(insName, dv, term.Mk(insName, dv2, sv)),
+				Rhs: term.Mk(insName, dv2, term.Mk(insName, dv, sv)), Ordered: true},
+			{Lhs: term.Mk(memName, dv, term.Const(emptyName)), Rhs: term.Const("FALSE")},
+			{Lhs: term.Mk(memName, dv, term.Mk(insName, dv2, sv)),
+				Rhs: term.Mk("IF", term.Mk(eqOp, dv, dv2), term.Const("TRUE"), term.Mk(memName, dv, sv))},
+		},
+	}
+	return Import("SET("+dataSort+")", elem, BoolSpec(), core)
+}

@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"testing"
+
+	"algrec/internal/term"
+)
+
+// Structure-level tests for the extended builders; their rewriting behaviour
+// is tested in internal/rewrite.
+
+func TestBoolOpsSpec(t *testing.T) {
+	b := BoolOpsSpec()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"AND", "OR", "NOT", "IF"} {
+		if _, ok := b.Sig.Op(op); !ok {
+			t.Errorf("BOOLOPS missing %s", op)
+		}
+	}
+}
+
+func TestListSpecStructure(t *testing.T) {
+	sp, err := ListSpec(NatSpec(), "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Sig.HasSort("list(nat)") {
+		t.Error("missing list sort")
+	}
+	d, ok := sp.Sig.Op("EQLIST")
+	if !ok || d.Result != "bool" {
+		t.Errorf("EQLIST = %v, %v", d, ok)
+	}
+	if d, _ := sp.Sig.Op("LEN"); d.Result != "nat" {
+		t.Errorf("LEN result = %s", d.Result)
+	}
+}
+
+func TestStackSpecStructure(t *testing.T) {
+	sp, err := StackSpec(NatSpec(), "nat", "ZERO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Sig.HasSort("stack(nat)") {
+		t.Error("missing stack sort")
+	}
+	for _, op := range []string{"EMPTYSTK", "PUSH", "POP", "TOPORD", "ISEMPTY"} {
+		if _, ok := sp.Sig.Op(op); !ok {
+			t.Errorf("STACK missing %s", op)
+		}
+	}
+}
+
+func TestWithSetEqualityStructure(t *testing.T) {
+	base, err := SetSpec(NatSpec(), "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := WithSetEquality(base, "nat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := sp.Sig.Op("EQSET")
+	if !ok || d.Result != "bool" || d.Args[0] != "set(nat)" {
+		t.Errorf("EQSET = %v, %v", d, ok)
+	}
+	// error path: no set sort in the input spec
+	if _, err := WithSetEquality(NatSpec(), "nat"); err == nil {
+		t.Error("WithSetEquality accepted a spec without the set sort")
+	}
+}
+
+func TestNestedSetSpecStructure(t *testing.T) {
+	sp, err := NestedSetSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Sig.HasSort("set(set(nat))") {
+		t.Error("missing nested set sort")
+	}
+	d, ok := sp.Sig.Op("MEM2")
+	if !ok || d.Args[0] != "set(nat)" || d.Args[1] != "set(set(nat))" {
+		t.Errorf("MEM2 = %v, %v", d, ok)
+	}
+	// The instantiation kept the inner operations too.
+	if _, ok := sp.Sig.Op("MEM"); !ok {
+		t.Error("inner MEM lost")
+	}
+	// SetTerm at nested sort type-checks.
+	inner := SetTerm(NatTerm(1))
+	outer := term.Mk("INS2", inner, term.Const("EMPTY2"))
+	if got, err := term.SortOf(outer, sp.Sig); err != nil || got != "set(set(nat))" {
+		t.Errorf("SortOf(nested) = %s, %v", got, err)
+	}
+}
+
+func TestSetOpsSpecStructure(t *testing.T) {
+	base, err := SetSpec(NatSpec(), "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SetOpsSpec(base, "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"UNION", "DEL", "DIFF", "INTERSECT", "IFSET"} {
+		if _, ok := sp.Sig.Op(op); !ok {
+			t.Errorf("SETOPS missing %s", op)
+		}
+	}
+}

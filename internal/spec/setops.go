@@ -1,0 +1,68 @@
+package spec
+
+import (
+	"fmt"
+
+	"algrec/internal/term"
+)
+
+// SetOpsSpec extends a SET(data) specification with the algebraic set
+// operators defined *by equations*, the way the paper's Section 3.1 says all
+// algebra operators are given ("All the operations are defined in [5] using
+// parameterized specifications"): UNION, DEL (delete one element), DIFF and
+// INTERSECT, plus the conditional IFSET on the set sort that DIFF's
+// definition needs. Together with internal/rewrite this makes the algebra's
+// set operators executable at the specification level; a property test
+// checks them against the value-level operators of internal/value — the two
+// layers describe one data type.
+func SetOpsSpec(setSpec *Spec, dataSort, eqOp string) (*Spec, error) {
+	setSort := "set(" + dataSort + ")"
+	if !setSpec.Sig.HasSort(setSort) {
+		return nil, fmt.Errorf("spec: %s does not define %s", setSpec.Name, setSort)
+	}
+	if _, ok := setSpec.Sig.Op(eqOp); !ok {
+		return nil, fmt.Errorf("spec: %s does not define equality %q", setSpec.Name, eqOp)
+	}
+	sig := term.NewSignature()
+	sig.AddSort(dataSort)
+	sig.AddSort("bool")
+	sig.AddSort(setSort)
+	mustOp(sig, "IFSET", []string{"bool", setSort, setSort}, setSort)
+	mustOp(sig, "UNION", []string{setSort, setSort}, setSort)
+	mustOp(sig, "DEL", []string{dataSort, setSort}, setSort)
+	mustOp(sig, "DIFF", []string{setSort, setSort}, setSort)
+	mustOp(sig, "INTERSECT", []string{setSort, setSort}, setSort)
+	d := term.Var{Name: "d", Sort: dataSort}
+	d2 := term.Var{Name: "d2", Sort: dataSort}
+	s := term.Var{Name: "s", Sort: setSort}
+	s1 := term.Var{Name: "s1", Sort: setSort}
+	s2 := term.Var{Name: "s2", Sort: setSort}
+	empty := term.Const("EMPTY")
+	core := &Spec{
+		Name: "SETOPS(" + dataSort + ")",
+		Sig:  sig,
+		Eqns: []Equation{
+			// the conditional on sets
+			{Lhs: term.Mk("IFSET", term.Const("TRUE"), s1, s2), Rhs: s1},
+			{Lhs: term.Mk("IFSET", term.Const("FALSE"), s1, s2), Rhs: s2},
+			// UNION(EMPTY, s) = s;  UNION(INS(d, s1), s2) = INS(d, UNION(s1, s2))
+			{Lhs: term.Mk("UNION", empty, s), Rhs: s},
+			{Lhs: term.Mk("UNION", term.Mk("INS", d, s1), s2),
+				Rhs: term.Mk("INS", d, term.Mk("UNION", s1, s2))},
+			// DEL removes every occurrence of one element
+			{Lhs: term.Mk("DEL", d, empty), Rhs: term.Term(empty)},
+			{Lhs: term.Mk("DEL", d, term.Mk("INS", d2, s)),
+				Rhs: term.Mk("IFSET", term.Mk(eqOp, d, d2),
+					term.Mk("DEL", d, s),
+					term.Mk("INS", d2, term.Mk("DEL", d, s)))},
+			// DIFF peels the subtrahend element by element
+			{Lhs: term.Mk("DIFF", s, empty), Rhs: s},
+			{Lhs: term.Mk("DIFF", s1, term.Mk("INS", d, s2)),
+				Rhs: term.Mk("DIFF", term.Mk("DEL", d, s1), s2)},
+			// the paper's Example 3: x ∩ y = x − (x − y)
+			{Lhs: term.Mk("INTERSECT", s1, s2),
+				Rhs: term.Mk("DIFF", s1, term.Mk("DIFF", s1, s2))},
+		},
+	}
+	return Import(setSpec.Name+"+OPS", setSpec, core)
+}

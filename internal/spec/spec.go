@@ -1,0 +1,156 @@
+// Package spec implements abstract data type specifications SPEC = (S, OP, E)
+// (the paper's Definition 2.1): sort names, operation symbols, and
+// (generalized conditional) equations. Negated conditions — disequations —
+// are the Section 2.2 extension that makes negation available in the
+// algebraic paradigm; specifications using them are interpreted under the
+// valid-model approach (see the validspec subpackage for the constant-only
+// decision procedure and internal/rewrite for executable specifications).
+//
+// The package also provides the paper's running specifications as builders:
+// booleans, natural numbers, and the parameterized SET(data) specification of
+// Section 2.1 with EMPTY, INS and MEM.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"algrec/internal/term"
+)
+
+// Cond is one premise of a conditional equation: L = R, or L ≠ R when
+// Negated (a generalized conditional equation in the paper's sense).
+type Cond struct {
+	L, R    term.Term
+	Negated bool
+}
+
+// String renders the condition.
+func (c Cond) String() string {
+	op := " = "
+	if c.Negated {
+		op = " != "
+	}
+	return c.L.String() + op + c.R.String()
+}
+
+// Equation is a (generalized conditional) equation: Conds → Lhs = Rhs.
+type Equation struct {
+	Conds []Cond
+	Lhs   term.Term
+	Rhs   term.Term
+	// Ordered marks a permutative equation (like INS commutativity) that the
+	// rewriter applies only when it decreases the term order, keeping
+	// rewriting terminating.
+	Ordered bool
+}
+
+// String renders the equation.
+func (e Equation) String() string {
+	var sb strings.Builder
+	if len(e.Conds) > 0 {
+		parts := make([]string, len(e.Conds))
+		for i, c := range e.Conds {
+			parts[i] = c.String()
+		}
+		sb.WriteString(strings.Join(parts, ", "))
+		sb.WriteString(" -> ")
+	}
+	sb.WriteString(e.Lhs.String())
+	sb.WriteString(" = ")
+	sb.WriteString(e.Rhs.String())
+	return sb.String()
+}
+
+// HasNegation reports whether the equation has a disequation premise.
+func (e Equation) HasNegation() bool {
+	for _, c := range e.Conds {
+		if c.Negated {
+			return true
+		}
+	}
+	return false
+}
+
+// Spec is an abstract data type specification.
+type Spec struct {
+	Name string
+	Sig  *term.Signature
+	Eqns []Equation
+}
+
+// HasNegation reports whether any equation has a disequation premise; such
+// specifications need the valid-model semantics (Section 2.2) since an
+// initial model need not exist.
+func (s *Spec) HasNegation() bool {
+	for _, e := range s.Eqns {
+		if e.HasNegation() {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that every equation is well-sorted and that both sides of
+// each (dis)equation have the same sort.
+func (s *Spec) Validate() error {
+	checkPair := func(what string, l, r term.Term) error {
+		ls, err := term.SortOf(l, s.Sig)
+		if err != nil {
+			return fmt.Errorf("spec %s: %s: %w", s.Name, what, err)
+		}
+		rs, err := term.SortOf(r, s.Sig)
+		if err != nil {
+			return fmt.Errorf("spec %s: %s: %w", s.Name, what, err)
+		}
+		if ls != rs {
+			return fmt.Errorf("spec %s: %s: sorts %s and %s differ", s.Name, what, ls, rs)
+		}
+		return nil
+	}
+	for _, e := range s.Eqns {
+		if err := checkPair("equation "+e.String(), e.Lhs, e.Rhs); err != nil {
+			return err
+		}
+		for _, c := range e.Conds {
+			if err := checkPair("condition "+c.String(), c.L, c.R); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Import combines specifications (the paper's "nat + bool + ..."): the
+// result has the union of sorts, operations and equations.
+func Import(name string, specs ...*Spec) (*Spec, error) {
+	sig := term.NewSignature()
+	out := &Spec{Name: name, Sig: sig}
+	for _, sp := range specs {
+		merged, err := sig.Extend(sp.Sig)
+		if err != nil {
+			return nil, fmt.Errorf("spec: importing %s into %s: %w", sp.Name, name, err)
+		}
+		sig = merged
+		out.Eqns = append(out.Eqns, sp.Eqns...)
+	}
+	out.Sig = sig
+	return out, nil
+}
+
+// String renders the specification in the paper's layout.
+func (s *Spec) String() string {
+	var sb strings.Builder
+	sb.WriteString(s.Name)
+	sb.WriteString("\nsorts: ")
+	sb.WriteString(strings.Join(s.Sig.Sorts(), ", "))
+	sb.WriteString("\nopns:\n")
+	for _, d := range s.Sig.Ops() {
+		sb.WriteString("  " + d.String() + "\n")
+	}
+	sb.WriteString("eqns:\n")
+	for _, e := range s.Eqns {
+		sb.WriteString("  " + e.String() + "\n")
+	}
+	return sb.String()
+}

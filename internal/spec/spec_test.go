@@ -1,0 +1,124 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"algrec/internal/term"
+)
+
+func TestBoolSpec(t *testing.T) {
+	b := BoolSpec()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.HasNegation() {
+		t.Error("BOOL has no disequation premises")
+	}
+	if _, ok := b.Sig.Op("IF"); !ok {
+		t.Error("BOOL missing IF")
+	}
+	if len(b.Eqns) != 4 {
+		t.Errorf("BOOL has %d equations, want 4", len(b.Eqns))
+	}
+}
+
+func TestNatSpec(t *testing.T) {
+	n := NatSpec()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The import merged BOOL: IF must be present alongside EQ and PLUS.
+	for _, op := range []string{"ZERO", "SUCC", "PLUS", "EQ", "TRUE", "FALSE", "IF"} {
+		if _, ok := n.Sig.Op(op); !ok {
+			t.Errorf("NAT missing %s", op)
+		}
+	}
+	if got, err := term.SortOf(NatTerm(3), n.Sig); err != nil || got != "nat" {
+		t.Errorf("SortOf(3) = %s, %v", got, err)
+	}
+}
+
+func TestSetSpecStructure(t *testing.T) {
+	sp, err := SetSpec(NatSpec(), "nat", "EQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Sig.HasSort("set(nat)") {
+		t.Error("missing set(nat) sort")
+	}
+	d, ok := sp.Sig.Op("MEM")
+	if !ok || d.Result != "bool" {
+		t.Errorf("MEM decl = %v, %v", d, ok)
+	}
+	// Exactly one equation is marked Ordered: INS commutativity.
+	ordered := 0
+	for _, e := range sp.Eqns {
+		if e.Ordered {
+			ordered++
+		}
+	}
+	if ordered != 1 {
+		t.Errorf("got %d ordered equations, want 1", ordered)
+	}
+	// SetTerm builds the paper's {x1, ..., xn} shorthand.
+	st := SetTerm(NatTerm(1), NatTerm(2))
+	if got, err := term.SortOf(st, sp.Sig); err != nil || got != "set(nat)" {
+		t.Errorf("SortOf(SetTerm) = %s, %v", got, err)
+	}
+	if !strings.HasPrefix(st.String(), "INS(") {
+		t.Errorf("SetTerm = %s", st)
+	}
+}
+
+func TestSetSpecErrors(t *testing.T) {
+	if _, err := SetSpec(BoolSpec(), "nat", "EQ"); err == nil {
+		t.Error("missing element sort accepted")
+	}
+	if _, err := SetSpec(NatSpec(), "nat", "PLUS"); err == nil {
+		t.Error("PLUS accepted as equality (wrong result sort)")
+	}
+	if _, err := SetSpec(NatSpec(), "nat", "nosuch"); err == nil {
+		t.Error("missing equality accepted")
+	}
+}
+
+func TestImportConflict(t *testing.T) {
+	a := term.NewSignature()
+	a.AddSort("s")
+	if err := a.AddOp("C", nil, "s"); err != nil {
+		t.Fatal(err)
+	}
+	b := term.NewSignature()
+	b.AddSort("s")
+	b.AddSort("t")
+	if err := b.AddOp("C", nil, "t"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Import("X", &Spec{Name: "A", Sig: a}, &Spec{Name: "B", Sig: b})
+	if err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Errorf("expected conflict error, got %v", err)
+	}
+}
+
+func TestEquationStrings(t *testing.T) {
+	x := term.Var{Name: "x", Sort: "nat"}
+	e := Equation{
+		Conds: []Cond{{L: x, R: term.Const("ZERO"), Negated: true}},
+		Lhs:   term.Mk("F", x),
+		Rhs:   term.Const("TRUE"),
+	}
+	if got := e.String(); got != "x != ZERO -> F(x) = TRUE" {
+		t.Errorf("Equation.String = %q", got)
+	}
+	if !e.HasNegation() {
+		t.Error("HasNegation = false")
+	}
+	tot := MemTotalityEquation("nat")
+	if got := tot.String(); got != "MEM(x, y) != TRUE -> MEM(x, y) = FALSE" {
+		t.Errorf("totality equation = %q", got)
+	}
+}

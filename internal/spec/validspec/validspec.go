@@ -1,0 +1,374 @@
+// Package validspec implements the valid-model machinery of the paper's
+// Section 2.2 for the decidable fragment singled out by Proposition 2.3(2):
+// specifications whose operations are all constants (0-ary), with
+// generalized conditional equations over them.
+//
+// For this fragment everything is finite: an algebra is a partition of the
+// constants, the valid interpretation is computable exactly by the Section
+// 2.2 alternating procedure on equality atoms, and the existence of an
+// initial valid model is decidable — an initial valid model is a valid model
+// whose partition refines every other valid model's (the refinement gives
+// the unique homomorphism). The paper's Example 2 (constants a, b, c with
+// a≠b → a=c and a≠c → a=b) has three valid models and no least one, hence no
+// initial valid model; TestExample2 reproduces this. For specifications with
+// non-constant operations the question is undecidable (Proposition 2.3(1)),
+// which is why this package does not attempt it.
+package validspec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lit is one condition over constants: A = B, or A ≠ B when Negated.
+type Lit struct {
+	A, B    string
+	Negated bool
+}
+
+// String renders the condition.
+func (l Lit) String() string {
+	if l.Negated {
+		return l.A + " != " + l.B
+	}
+	return l.A + " = " + l.B
+}
+
+// Clause is a generalized conditional equation over constants:
+// Conds → A = B.
+type Clause struct {
+	Conds []Lit
+	A, B  string
+}
+
+// String renders the clause.
+func (c Clause) String() string {
+	if len(c.Conds) == 0 {
+		return c.A + " = " + c.B
+	}
+	parts := make([]string, len(c.Conds))
+	for i, l := range c.Conds {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, ", ") + " -> " + c.A + " = " + c.B
+}
+
+// ConstSpec is a constant-only specification of one sort.
+type ConstSpec struct {
+	Consts  []string
+	Clauses []Clause
+}
+
+// Validate checks that every constant mentioned in a clause is declared.
+func (cs *ConstSpec) Validate() error {
+	idx := map[string]bool{}
+	for _, c := range cs.Consts {
+		if idx[c] {
+			return fmt.Errorf("validspec: duplicate constant %q", c)
+		}
+		idx[c] = true
+	}
+	check := func(n string) error {
+		if !idx[n] {
+			return fmt.Errorf("validspec: undeclared constant %q", n)
+		}
+		return nil
+	}
+	for _, cl := range cs.Clauses {
+		if err := check(cl.A); err != nil {
+			return err
+		}
+		if err := check(cl.B); err != nil {
+			return err
+		}
+		for _, l := range cl.Conds {
+			if err := check(l.A); err != nil {
+				return err
+			}
+			if err := check(l.B); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Partition is an equivalence relation on the spec's constants, represented
+// by class labels in restricted-growth form: label[i] is the class of
+// Consts[i], labels are assigned in first-occurrence order starting at 0.
+type Partition []int
+
+// Same reports whether constants at positions i and j are identified.
+func (p Partition) Same(i, j int) bool { return p[i] == p[j] }
+
+// Refines reports whether p identifies at most what q identifies — exactly
+// the condition for a (necessarily unique) homomorphism from p's quotient to
+// q's to exist.
+func (p Partition) Refines(q Partition) bool {
+	for i := range p {
+		for j := i + 1; j < len(p); j++ {
+			if p[i] == p[j] && q[i] != q[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether two partitions are the same equivalence relation.
+func (p Partition) Equal(q Partition) bool {
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the partition as blocks, e.g. "{a, c} {b}".
+func (p Partition) render(consts []string) string {
+	max := -1
+	for _, c := range p {
+		if c > max {
+			max = c
+		}
+	}
+	blocks := make([][]string, max+1)
+	for i, c := range p {
+		blocks[c] = append(blocks[c], consts[i])
+	}
+	parts := make([]string, len(blocks))
+	for i, b := range blocks {
+		parts[i] = "{" + strings.Join(b, ", ") + "}"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Render returns the partition's block form using the spec's constant names.
+func (cs *ConstSpec) Render(p Partition) string { return p.render(cs.Consts) }
+
+func (cs *ConstSpec) indexOf() map[string]int {
+	idx := map[string]int{}
+	for i, c := range cs.Consts {
+		idx[c] = i
+	}
+	return idx
+}
+
+// satisfies reports whether the partition is a model of the clauses: for
+// every clause whose conditions hold in the partition, the conclusion holds.
+func (cs *ConstSpec) satisfies(p Partition, idx map[string]int) bool {
+	for _, cl := range cs.Clauses {
+		holds := true
+		for _, l := range cl.Conds {
+			same := p.Same(idx[l.A], idx[l.B])
+			if l.Negated {
+				same = !same
+			}
+			if !same {
+				holds = false
+				break
+			}
+		}
+		if holds && !p.Same(idx[cl.A], idx[cl.B]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Models enumerates all total algebras (partitions) satisfying the clauses.
+// The enumeration is exponential in the number of constants (Bell numbers);
+// MaxConsts guards it.
+const MaxConsts = 12
+
+// Models returns every model partition, in enumeration order.
+func (cs *ConstSpec) Models() ([]Partition, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cs.Consts) > MaxConsts {
+		return nil, fmt.Errorf("validspec: %d constants exceed the enumeration bound %d", len(cs.Consts), MaxConsts)
+	}
+	idx := cs.indexOf()
+	var out []Partition
+	n := len(cs.Consts)
+	p := make(Partition, n)
+	var rec func(i, maxLabel int)
+	rec = func(i, maxLabel int) {
+		if i == n {
+			if cs.satisfies(p, idx) {
+				out = append(out, append(Partition(nil), p...))
+			}
+			return
+		}
+		for c := 0; c <= maxLabel+1; c++ {
+			p[i] = c
+			next := maxLabel
+			if c > maxLabel {
+				next = c
+			}
+			rec(i+1, next)
+		}
+	}
+	if n > 0 {
+		rec(0, -1)
+	}
+	return out, nil
+}
+
+// uf is a small union-find over constant indices.
+type uf []int
+
+func newUF(n int) uf {
+	u := make(uf, n)
+	for i := range u {
+		u[i] = i
+	}
+	return u
+}
+
+func (u uf) find(i int) int {
+	for u[i] != i {
+		u[i] = u[u[i]]
+		i = u[i]
+	}
+	return i
+}
+
+func (u uf) union(i, j int) bool {
+	ri, rj := u.find(i), u.find(j)
+	if ri == rj {
+		return false
+	}
+	u[ri] = rj
+	return true
+}
+
+func (u uf) clone() uf {
+	return append(uf(nil), u...)
+}
+
+func (u uf) toPartition() Partition {
+	p := make(Partition, len(u))
+	label := map[int]int{}
+	next := 0
+	for i := range u {
+		r := u.find(i)
+		l, ok := label[r]
+		if !ok {
+			l = next
+			label[r] = l
+			next++
+		}
+		p[i] = l
+	}
+	return p
+}
+
+// gamma computes one Γ step of the Section 2.2 procedure on equality atoms:
+// the closure of the clauses (plus the equality axioms, maintained by the
+// union-find) where a disequation condition a ≠ b may be used only when
+// a = b does NOT hold in j, and derivation starts from the identifications
+// in seed.
+func (cs *ConstSpec) gamma(j uf, seed uf, idx map[string]int) uf {
+	cur := seed.clone()
+	for changed := true; changed; {
+		changed = false
+		for _, cl := range cs.Clauses {
+			ok := true
+			for _, l := range cl.Conds {
+				if l.Negated {
+					if j.find(idx[l.A]) == j.find(idx[l.B]) {
+						ok = false
+						break
+					}
+				} else {
+					if cur.find(idx[l.A]) != cur.find(idx[l.B]) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok && cur.union(idx[cl.A], idx[cl.B]) {
+				changed = true
+			}
+		}
+	}
+	return cur
+}
+
+// ValidInterpretation computes the valid interpretation of the spec: the
+// certainly-equal partition T, and the possibly-equal partition U; pairs
+// separated in U are certainly unequal, pairs identified in U but not in T
+// have undefined equality status.
+func (cs *ConstSpec) ValidInterpretation() (T, U Partition, err error) {
+	if err := cs.Validate(); err != nil {
+		return nil, nil, err
+	}
+	idx := cs.indexOf()
+	n := len(cs.Consts)
+	t := newUF(n)
+	var u uf
+	for {
+		u = cs.gamma(t, t, idx)
+		t2 := cs.gamma(u, t, idx)
+		same := true
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (t.find(i) == t.find(j)) != (t2.find(i) == t2.find(j)) {
+					same = false
+				}
+			}
+		}
+		if same {
+			break
+		}
+		t = t2
+	}
+	return t.toPartition(), u.toPartition(), nil
+}
+
+// ValidModels returns the models that agree with the valid interpretation's
+// true facts: every pair certainly equal is identified (Definition 2.2).
+func (cs *ConstSpec) ValidModels() ([]Partition, error) {
+	t, _, err := cs.ValidInterpretation()
+	if err != nil {
+		return nil, err
+	}
+	models, err := cs.Models()
+	if err != nil {
+		return nil, err
+	}
+	var out []Partition
+	for _, m := range models {
+		if t.Refines(m) {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// InitialValidModel decides whether the spec has an initial valid model
+// (Proposition 2.3(2)): a valid model with a unique homomorphism to every
+// valid model, i.e. a least valid model under refinement. It returns the
+// model and true, or nil and false when none exists (as in Example 2).
+func (cs *ConstSpec) InitialValidModel() (Partition, bool, error) {
+	valid, err := cs.ValidModels()
+	if err != nil {
+		return nil, false, err
+	}
+	for _, cand := range valid {
+		least := true
+		for _, other := range valid {
+			if !cand.Refines(other) {
+				least = false
+				break
+			}
+		}
+		if least {
+			return cand, true, nil
+		}
+	}
+	return nil, false, nil
+}

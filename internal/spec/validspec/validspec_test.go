@@ -1,0 +1,279 @@
+package validspec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// example2 is the paper's Example 2: constants a, b, c with
+// a ≠ b → a = c  and  a ≠ c → a = b.
+func example2() *ConstSpec {
+	return &ConstSpec{
+		Consts: []string{"a", "b", "c"},
+		Clauses: []Clause{
+			{Conds: []Lit{{A: "a", B: "b", Negated: true}}, A: "a", B: "c"},
+			{Conds: []Lit{{A: "a", B: "c", Negated: true}}, A: "a", B: "b"},
+		},
+	}
+}
+
+// TestExample2 reproduces the paper's Example 2 exactly: "SPEC has three
+// such models: a model where a = b = c, a model where a = b ≠ c, and a model
+// where a = c ≠ b. However, none of these are initial."
+func TestExample2(t *testing.T) {
+	cs := example2()
+	models, err := cs.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 3 {
+		for _, m := range models {
+			t.Logf("model: %s", cs.Render(m))
+		}
+		t.Fatalf("got %d models, want 3", len(models))
+	}
+	rendered := map[string]bool{}
+	for _, m := range models {
+		rendered[cs.Render(m)] = true
+	}
+	for _, want := range []string{"{a, b, c}", "{a, b} {c}", "{a, c} {b}"} {
+		if !rendered[want] {
+			t.Errorf("missing model %s; have %v", want, rendered)
+		}
+	}
+	// "All the models of SPEC are valid, since no equalities can be derived
+	// in a valid manner."
+	valid, err := cs.ValidModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(valid) != 3 {
+		t.Errorf("got %d valid models, want 3", len(valid))
+	}
+	T, _, err := cs.ValidInterpretation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Render(T) != "{a} {b} {c}" {
+		t.Errorf("certainly-equal partition = %s, want discrete", cs.Render(T))
+	}
+	// "However, none of these are initial."
+	if m, ok, err := cs.InitialValidModel(); err != nil || ok {
+		t.Errorf("Example 2 should have no initial valid model; got %v, %v, %v", m, ok, err)
+	}
+}
+
+func TestUnconditionalEquation(t *testing.T) {
+	cs := &ConstSpec{
+		Consts:  []string{"a", "b", "c"},
+		Clauses: []Clause{{A: "a", B: "b"}},
+	}
+	T, U, err := cs.ValidInterpretation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Render(T) != "{a, b} {c}" {
+		t.Errorf("T = %s", cs.Render(T))
+	}
+	if !T.Equal(U) {
+		t.Errorf("interpretation should be two-valued: T=%s U=%s", cs.Render(T), cs.Render(U))
+	}
+	m, ok, err := cs.InitialValidModel()
+	if err != nil || !ok {
+		t.Fatalf("expected initial valid model, got %v, %v", ok, err)
+	}
+	if cs.Render(m) != "{a, b} {c}" {
+		t.Errorf("initial valid model = %s, want {a, b} {c}", cs.Render(m))
+	}
+}
+
+func TestPositiveConditionalChain(t *testing.T) {
+	// a=b → b=c, plus a=b: the derivation chains.
+	cs := &ConstSpec{
+		Consts: []string{"a", "b", "c"},
+		Clauses: []Clause{
+			{A: "a", B: "b"},
+			{Conds: []Lit{{A: "a", B: "b"}}, A: "b", B: "c"},
+		},
+	}
+	T, _, err := cs.ValidInterpretation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Render(T) != "{a, b, c}" {
+		t.Errorf("T = %s, want all equal", cs.Render(T))
+	}
+	m, ok, _ := cs.InitialValidModel()
+	if !ok || cs.Render(m) != "{a, b, c}" {
+		t.Errorf("initial valid model = %v, %v", m, ok)
+	}
+}
+
+func TestNegativeConditionUsedValidly(t *testing.T) {
+	// a ≠ b cannot ever be derived as equal, so the disequation holds
+	// certainly and c = d follows.
+	cs := &ConstSpec{
+		Consts: []string{"a", "b", "c", "d"},
+		Clauses: []Clause{
+			{Conds: []Lit{{A: "a", B: "b", Negated: true}}, A: "c", B: "d"},
+		},
+	}
+	T, _, err := cs.ValidInterpretation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Render(T) != "{a} {b} {c, d}" {
+		t.Errorf("T = %s", cs.Render(T))
+	}
+	m, ok, _ := cs.InitialValidModel()
+	if !ok || cs.Render(m) != "{a} {b} {c, d}" {
+		t.Errorf("initial valid model = %v, %v", m, ok)
+	}
+}
+
+func TestSelfBlockingClause(t *testing.T) {
+	// a ≠ b → a = b: deriving a = b would invalidate its own premise; the
+	// equality status is undefined and the valid interpretation 3-valued,
+	// but a total model must satisfy the clause, which forces a = b.
+	cs := &ConstSpec{
+		Consts: []string{"a", "b"},
+		Clauses: []Clause{
+			{Conds: []Lit{{A: "a", B: "b", Negated: true}}, A: "a", B: "b"},
+		},
+	}
+	T, U, err := cs.ValidInterpretation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Render(T) != "{a} {b}" || cs.Render(U) != "{a, b}" {
+		t.Errorf("T = %s, U = %s", cs.Render(T), cs.Render(U))
+	}
+	models, err := cs.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || cs.Render(models[0]) != "{a, b}" {
+		t.Errorf("models = %v", models)
+	}
+	m, ok, _ := cs.InitialValidModel()
+	if !ok || cs.Render(m) != "{a, b}" {
+		t.Errorf("initial valid model = %v, %v", m, ok)
+	}
+}
+
+func TestPartitionOps(t *testing.T) {
+	fine := Partition{0, 1, 2}
+	mid := Partition{0, 0, 1}
+	coarse := Partition{0, 0, 0}
+	if !fine.Refines(mid) || !mid.Refines(coarse) || !fine.Refines(coarse) {
+		t.Error("refinement chain broken")
+	}
+	if coarse.Refines(mid) || mid.Refines(fine) {
+		t.Error("reverse refinement should fail")
+	}
+	other := Partition{0, 1, 0}
+	if mid.Refines(other) || other.Refines(mid) {
+		t.Error("incomparable partitions compared")
+	}
+	if !mid.Equal(Partition{0, 0, 1}) || mid.Equal(other) {
+		t.Error("Equal wrong")
+	}
+	if !mid.Same(0, 1) || mid.Same(0, 2) {
+		t.Error("Same wrong")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := []*ConstSpec{
+		{Consts: []string{"a", "a"}},
+		{Consts: []string{"a"}, Clauses: []Clause{{A: "a", B: "zzz"}}},
+		{Consts: []string{"a", "b"}, Clauses: []Clause{{Conds: []Lit{{A: "q", B: "a"}}, A: "a", B: "b"}}},
+	}
+	for _, cs := range bad {
+		if err := cs.Validate(); err == nil {
+			t.Errorf("spec %+v should fail validation", cs)
+		}
+	}
+	big := &ConstSpec{Consts: make([]string, MaxConsts+1)}
+	for i := range big.Consts {
+		big.Consts[i] = "c" + string(rune('a'+i))
+	}
+	if _, err := big.Models(); err == nil || !strings.Contains(err.Error(), "enumeration bound") {
+		t.Errorf("oversized spec should be rejected, got %v", err)
+	}
+}
+
+func TestLitClauseStrings(t *testing.T) {
+	l := Lit{A: "a", B: "b", Negated: true}
+	if l.String() != "a != b" {
+		t.Errorf("Lit.String = %q", l.String())
+	}
+	c := Clause{Conds: []Lit{l}, A: "a", B: "c"}
+	if c.String() != "a != b -> a = c" {
+		t.Errorf("Clause.String = %q", c.String())
+	}
+	if (Clause{A: "x", B: "y"}).String() != "x = y" {
+		t.Error("unconditional Clause.String wrong")
+	}
+}
+
+// TestPropertyInitialIsLeast: whenever InitialValidModel succeeds, the
+// result refines every valid model and is itself valid; whenever two
+// incomparable minimal valid models exist, it fails.
+func TestPropertyInitialIsLeast(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		consts := []string{"a", "b", "c", "d"}[:2+r.Intn(3)]
+		n := 1 + r.Intn(4)
+		cs := &ConstSpec{Consts: consts}
+		pick := func() string { return consts[r.Intn(len(consts))] }
+		for i := 0; i < n; i++ {
+			cl := Clause{A: pick(), B: pick()}
+			for j := r.Intn(3); j > 0; j-- {
+				cl.Conds = append(cl.Conds, Lit{A: pick(), B: pick(), Negated: r.Intn(2) == 0})
+			}
+			cs.Clauses = append(cs.Clauses, cl)
+		}
+		valid, err := cs.ValidModels()
+		if err != nil {
+			return false
+		}
+		m, ok, err := cs.InitialValidModel()
+		if err != nil {
+			return false
+		}
+		if ok {
+			for _, v := range valid {
+				if !m.Refines(v) {
+					return false
+				}
+			}
+			found := false
+			for _, v := range valid {
+				if v.Equal(m) {
+					found = true
+				}
+			}
+			return found
+		}
+		// No initial model: no valid model refines all others.
+		for _, cand := range valid {
+			least := true
+			for _, v := range valid {
+				if !cand.Refines(v) {
+					least = false
+					break
+				}
+			}
+			if least {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,467 @@
+// Package term implements many-sorted first-order terms over a signature —
+// the raw material of algebraic specifications (the paper's Section 2.1).
+// A signature declares sort names and operation symbols with arities in
+// S* → S; terms are variables or operation applications; the ground terms
+// over a signature form its Herbrand universe, whose quotient modulo the
+// equations' invariance relation is the initial algebra.
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpDecl declares an operation symbol: argument sorts and result sort.
+type OpDecl struct {
+	Name   string
+	Args   []string
+	Result string
+}
+
+// Arity returns the number of arguments.
+func (d OpDecl) Arity() int { return len(d.Args) }
+
+// String renders the declaration as "NAME: s1, s2 -> s".
+func (d OpDecl) String() string {
+	if len(d.Args) == 0 {
+		return d.Name + ": -> " + d.Result
+	}
+	return d.Name + ": " + strings.Join(d.Args, ", ") + " -> " + d.Result
+}
+
+// Signature is a set of sort names and operation declarations.
+type Signature struct {
+	sorts map[string]bool
+	ops   map[string]OpDecl
+}
+
+// NewSignature returns an empty signature.
+func NewSignature() *Signature {
+	return &Signature{sorts: map[string]bool{}, ops: map[string]OpDecl{}}
+}
+
+// AddSort declares a sort name; redeclaration is a no-op.
+func (sig *Signature) AddSort(name string) { sig.sorts[name] = true }
+
+// HasSort reports whether the sort is declared.
+func (sig *Signature) HasSort(name string) bool { return sig.sorts[name] }
+
+// Sorts returns the declared sort names, sorted.
+func (sig *Signature) Sorts() []string {
+	out := make([]string, 0, len(sig.sorts))
+	for s := range sig.sorts {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddOp declares an operation symbol. It returns an error for duplicate
+// names or undeclared sorts.
+func (sig *Signature) AddOp(name string, args []string, result string) error {
+	if _, ok := sig.ops[name]; ok {
+		return fmt.Errorf("term: operation %q already declared", name)
+	}
+	for _, a := range args {
+		if !sig.sorts[a] {
+			return fmt.Errorf("term: operation %q uses undeclared sort %q", name, a)
+		}
+	}
+	if !sig.sorts[result] {
+		return fmt.Errorf("term: operation %q has undeclared result sort %q", name, result)
+	}
+	sig.ops[name] = OpDecl{Name: name, Args: append([]string(nil), args...), Result: result}
+	return nil
+}
+
+// Op returns the declaration of the named operation.
+func (sig *Signature) Op(name string) (OpDecl, bool) {
+	d, ok := sig.ops[name]
+	return d, ok
+}
+
+// Ops returns all operation declarations, sorted by name.
+func (sig *Signature) Ops() []OpDecl {
+	out := make([]OpDecl, 0, len(sig.ops))
+	for _, d := range sig.ops {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Constants returns the 0-ary operations of the given sort, sorted by name;
+// with sort "" it returns all constants.
+func (sig *Signature) Constants(ofSort string) []OpDecl {
+	var out []OpDecl
+	for _, d := range sig.Ops() {
+		if d.Arity() == 0 && (ofSort == "" || d.Result == ofSort) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Extend returns a copy of the signature including everything from other;
+// conflicting operation declarations cause an error (the paper's
+// specification import "nat + bool + ...").
+func (sig *Signature) Extend(other *Signature) (*Signature, error) {
+	out := NewSignature()
+	for s := range sig.sorts {
+		out.AddSort(s)
+	}
+	for s := range other.sorts {
+		out.AddSort(s)
+	}
+	for _, d := range sig.Ops() {
+		out.ops[d.Name] = d
+	}
+	for _, d := range other.Ops() {
+		if prev, ok := out.ops[d.Name]; ok {
+			if prev.String() != d.String() {
+				return nil, fmt.Errorf("term: conflicting declarations of %q: %s vs %s", d.Name, prev, d)
+			}
+			continue
+		}
+		out.ops[d.Name] = d
+	}
+	return out, nil
+}
+
+// Term is a many-sorted term: a variable or an operation application. It is
+// a sealed interface.
+type Term interface {
+	String() string
+	isTerm()
+}
+
+// Var is a term variable with an explicit sort.
+type Var struct {
+	Name string
+	Sort string
+}
+
+// App is an application of an operation symbol to argument terms. Constants
+// are 0-ary applications.
+type App struct {
+	Op   string
+	Args []Term
+}
+
+func (Var) isTerm() {}
+func (App) isTerm() {}
+
+// String implements Term.
+func (v Var) String() string { return v.Name }
+
+// String implements Term.
+func (a App) String() string {
+	if len(a.Args) == 0 {
+		return a.Op
+	}
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Op + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Const returns the 0-ary application of op.
+func Const(op string) App { return App{Op: op} }
+
+// Mk returns the application of op to the arguments.
+func Mk(op string, args ...Term) App { return App{Op: op, Args: args} }
+
+// Equal reports structural equality of terms.
+func Equal(a, b Term) bool {
+	switch at := a.(type) {
+	case Var:
+		bt, ok := b.(Var)
+		return ok && at.Name == bt.Name && at.Sort == bt.Sort
+	case App:
+		bt, ok := b.(App)
+		if !ok || at.Op != bt.Op || len(at.Args) != len(bt.Args) {
+			return false
+		}
+		for i := range at.Args {
+			if !Equal(at.Args[i], bt.Args[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		panic(fmt.Sprintf("term: unknown term %T", a))
+	}
+}
+
+// Compare orders terms: variables before applications, then by name/op and
+// recursively by arguments. The order is arbitrary but total on ground
+// terms; the rewriter uses it for ordered rewriting of permutative equations
+// (INS commutativity).
+func Compare(a, b Term) int {
+	av, aIsVar := a.(Var)
+	bv, bIsVar := b.(Var)
+	switch {
+	case aIsVar && bIsVar:
+		if c := strings.Compare(av.Name, bv.Name); c != 0 {
+			return c
+		}
+		return strings.Compare(av.Sort, bv.Sort)
+	case aIsVar:
+		return -1
+	case bIsVar:
+		return 1
+	}
+	aa, ba := a.(App), b.(App)
+	if c := strings.Compare(aa.Op, ba.Op); c != 0 {
+		return c
+	}
+	n := len(aa.Args)
+	if len(ba.Args) < n {
+		n = len(ba.Args)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(aa.Args[i], ba.Args[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(aa.Args) < len(ba.Args):
+		return -1
+	case len(aa.Args) > len(ba.Args):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsGround reports whether the term contains no variables.
+func IsGround(t Term) bool {
+	switch tt := t.(type) {
+	case Var:
+		return false
+	case App:
+		for _, a := range tt.Args {
+			if !IsGround(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		panic(fmt.Sprintf("term: unknown term %T", t))
+	}
+}
+
+// Vars returns the variables of t keyed by name.
+func Vars(t Term) map[string]Var {
+	out := map[string]Var{}
+	var walk func(Term)
+	walk = func(t Term) {
+		switch tt := t.(type) {
+		case Var:
+			out[tt.Name] = tt
+		case App:
+			for _, a := range tt.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Size returns the number of nodes in the term.
+func Size(t Term) int {
+	switch tt := t.(type) {
+	case Var:
+		return 1
+	case App:
+		n := 1
+		for _, a := range tt.Args {
+			n += Size(a)
+		}
+		return n
+	default:
+		panic(fmt.Sprintf("term: unknown term %T", t))
+	}
+}
+
+// SortOf infers the sort of a term under the signature, checking
+// well-sortedness along the way.
+func SortOf(t Term, sig *Signature) (string, error) {
+	switch tt := t.(type) {
+	case Var:
+		if !sig.HasSort(tt.Sort) {
+			return "", fmt.Errorf("term: variable %s has undeclared sort %q", tt.Name, tt.Sort)
+		}
+		return tt.Sort, nil
+	case App:
+		d, ok := sig.Op(tt.Op)
+		if !ok {
+			return "", fmt.Errorf("term: undeclared operation %q", tt.Op)
+		}
+		if len(tt.Args) != d.Arity() {
+			return "", fmt.Errorf("term: %q expects %d arguments, got %d", tt.Op, d.Arity(), len(tt.Args))
+		}
+		for i, a := range tt.Args {
+			s, err := SortOf(a, sig)
+			if err != nil {
+				return "", err
+			}
+			if s != d.Args[i] {
+				return "", fmt.Errorf("term: argument %d of %q has sort %s, want %s", i+1, tt.Op, s, d.Args[i])
+			}
+		}
+		return d.Result, nil
+	default:
+		panic(fmt.Sprintf("term: unknown term %T", t))
+	}
+}
+
+// Subst maps variable names to terms.
+type Subst map[string]Term
+
+// Apply replaces variables in t by their images under s.
+func (s Subst) Apply(t Term) Term {
+	switch tt := t.(type) {
+	case Var:
+		if r, ok := s[tt.Name]; ok {
+			return r
+		}
+		return tt
+	case App:
+		args := make([]Term, len(tt.Args))
+		for i, a := range tt.Args {
+			args[i] = s.Apply(a)
+		}
+		return App{Op: tt.Op, Args: args}
+	default:
+		panic(fmt.Sprintf("term: unknown term %T", t))
+	}
+}
+
+// Match finds a substitution s with s(pattern) == t, treating variables in
+// the pattern as match variables; t is typically ground. It reports whether
+// the match succeeded.
+func Match(pattern, t Term) (Subst, bool) {
+	s := Subst{}
+	if matchInto(pattern, t, s) {
+		return s, true
+	}
+	return nil, false
+}
+
+func matchInto(pattern, t Term, s Subst) bool {
+	switch p := pattern.(type) {
+	case Var:
+		if prev, ok := s[p.Name]; ok {
+			return Equal(prev, t)
+		}
+		s[p.Name] = t
+		return true
+	case App:
+		ta, ok := t.(App)
+		if !ok || ta.Op != p.Op || len(ta.Args) != len(p.Args) {
+			return false
+		}
+		for i := range p.Args {
+			if !matchInto(p.Args[i], ta.Args[i], s) {
+				return false
+			}
+		}
+		return true
+	default:
+		panic(fmt.Sprintf("term: unknown term %T", pattern))
+	}
+}
+
+// Unify computes a most general unifier of a and b, if one exists. The
+// returned substitution is fully resolved (idempotent): applying it once
+// yields the unified instance.
+func Unify(a, b Term) (Subst, bool) {
+	s := Subst{}
+	if !unifyInto(a, b, s) {
+		return nil, false
+	}
+	out := make(Subst, len(s))
+	for k := range s {
+		out[k] = resolve(s[k], s)
+	}
+	return out, true
+}
+
+// resolve applies the triangular substitution s exhaustively; the occurs
+// check in unifyInto guarantees termination.
+func resolve(t Term, s Subst) Term {
+	switch tt := walk(t, s).(type) {
+	case Var:
+		return tt
+	case App:
+		args := make([]Term, len(tt.Args))
+		for i, a := range tt.Args {
+			args[i] = resolve(a, s)
+		}
+		return App{Op: tt.Op, Args: args}
+	default:
+		panic(fmt.Sprintf("term: unknown term %T", t))
+	}
+}
+
+func unifyInto(a, b Term, s Subst) bool {
+	a = walk(a, s)
+	b = walk(b, s)
+	if av, ok := a.(Var); ok {
+		if bv, ok := b.(Var); ok && av.Name == bv.Name {
+			return true
+		}
+		if occurs(av.Name, b, s) {
+			return false
+		}
+		s[av.Name] = b
+		return true
+	}
+	if _, ok := b.(Var); ok {
+		return unifyInto(b, a, s)
+	}
+	aa, ba := a.(App), b.(App)
+	if aa.Op != ba.Op || len(aa.Args) != len(ba.Args) {
+		return false
+	}
+	for i := range aa.Args {
+		if !unifyInto(aa.Args[i], ba.Args[i], s) {
+			return false
+		}
+	}
+	return true
+}
+
+func walk(t Term, s Subst) Term {
+	for {
+		v, ok := t.(Var)
+		if !ok {
+			return t
+		}
+		r, ok := s[v.Name]
+		if !ok {
+			return t
+		}
+		t = r
+	}
+}
+
+func occurs(name string, t Term, s Subst) bool {
+	switch tt := walk(t, s).(type) {
+	case Var:
+		return tt.Name == name
+	case App:
+		for _, a := range tt.Args {
+			if occurs(name, a, s) {
+				return true
+			}
+		}
+		return false
+	default:
+		panic(fmt.Sprintf("term: unknown term %T", t))
+	}
+}

@@ -1,0 +1,254 @@
+package term
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sigNat(t *testing.T) *Signature {
+	t.Helper()
+	sig := NewSignature()
+	sig.AddSort("nat")
+	sig.AddSort("bool")
+	for _, d := range []struct {
+		name   string
+		args   []string
+		result string
+	}{
+		{"ZERO", nil, "nat"},
+		{"SUCC", []string{"nat"}, "nat"},
+		{"PLUS", []string{"nat", "nat"}, "nat"},
+		{"EQ", []string{"nat", "nat"}, "bool"},
+		{"TRUE", nil, "bool"},
+	} {
+		if err := sig.AddOp(d.name, d.args, d.result); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sig
+}
+
+func nat(n int) Term {
+	t := Term(Const("ZERO"))
+	for i := 0; i < n; i++ {
+		t = Mk("SUCC", t)
+	}
+	return t
+}
+
+func TestSignature(t *testing.T) {
+	sig := sigNat(t)
+	if got := strings.Join(sig.Sorts(), ","); got != "bool,nat" {
+		t.Errorf("Sorts = %s", got)
+	}
+	if d, ok := sig.Op("PLUS"); !ok || d.Arity() != 2 || d.Result != "nat" {
+		t.Errorf("Op(PLUS) = %v, %v", d, ok)
+	}
+	if d, _ := sig.Op("PLUS"); d.String() != "PLUS: nat, nat -> nat" {
+		t.Errorf("OpDecl.String = %q", d.String())
+	}
+	if d, _ := sig.Op("ZERO"); d.String() != "ZERO: -> nat" {
+		t.Errorf("constant OpDecl.String = %q", d.String())
+	}
+	consts := sig.Constants("nat")
+	if len(consts) != 1 || consts[0].Name != "ZERO" {
+		t.Errorf("Constants(nat) = %v", consts)
+	}
+	if len(sig.Constants("")) != 2 {
+		t.Errorf("Constants() = %v", sig.Constants(""))
+	}
+	// error cases
+	if err := sig.AddOp("PLUS", nil, "nat"); err == nil {
+		t.Error("duplicate op accepted")
+	}
+	if err := sig.AddOp("BAD", []string{"nosort"}, "nat"); err == nil {
+		t.Error("undeclared arg sort accepted")
+	}
+	if err := sig.AddOp("BAD", nil, "nosort"); err == nil {
+		t.Error("undeclared result sort accepted")
+	}
+}
+
+func TestSignatureExtend(t *testing.T) {
+	a := NewSignature()
+	a.AddSort("s")
+	if err := a.AddOp("c", nil, "s"); err != nil {
+		t.Fatal(err)
+	}
+	b := NewSignature()
+	b.AddSort("s")
+	b.AddSort("t")
+	if err := b.AddOp("d", nil, "t"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Extend(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasSort("t") {
+		t.Error("merged signature missing sort t")
+	}
+	if _, ok := m.Op("c"); !ok {
+		t.Error("merged signature missing op c")
+	}
+	// conflicting redeclaration
+	c := NewSignature()
+	c.AddSort("s")
+	c.AddSort("t")
+	if err := c.AddOp("c", nil, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Extend(c); err == nil {
+		t.Error("conflicting op declarations accepted")
+	}
+}
+
+func TestSortOf(t *testing.T) {
+	sig := sigNat(t)
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{nat(3), "nat"},
+		{Mk("PLUS", nat(1), nat(2)), "nat"},
+		{Mk("EQ", nat(1), nat(2)), "bool"},
+		{Var{Name: "x", Sort: "nat"}, "nat"},
+	}
+	for _, c := range cases {
+		got, err := SortOf(c.t, sig)
+		if err != nil {
+			t.Errorf("SortOf(%s): %v", c.t, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("SortOf(%s) = %s, want %s", c.t, got, c.want)
+		}
+	}
+	bad := []Term{
+		Mk("PLUS", nat(1)),                           // wrong arity
+		Mk("PLUS", nat(1), Mk("EQ", nat(1), nat(1))), // wrong arg sort
+		Mk("NOSUCH"),                                 // undeclared op
+		Var{Name: "x", Sort: "nosort"},               // undeclared sort
+		Mk("SUCC", Var{Name: "b", Sort: "bool"}),     // wrong var sort
+	}
+	for _, b := range bad {
+		if _, err := SortOf(b, sig); err == nil {
+			t.Errorf("SortOf(%s): expected error", b)
+		}
+	}
+}
+
+func TestTermBasics(t *testing.T) {
+	x := Var{Name: "x", Sort: "nat"}
+	tm := Mk("PLUS", x, nat(2))
+	if tm.String() != "PLUS(x, SUCC(SUCC(ZERO)))" {
+		t.Errorf("String = %q", tm.String())
+	}
+	if IsGround(tm) || !IsGround(nat(2)) {
+		t.Error("IsGround wrong")
+	}
+	if Size(nat(3)) != 4 {
+		t.Errorf("Size = %d", Size(nat(3)))
+	}
+	vs := Vars(tm)
+	if len(vs) != 1 || vs["x"].Sort != "nat" {
+		t.Errorf("Vars = %v", vs)
+	}
+	if !Equal(tm, Mk("PLUS", x, nat(2))) || Equal(tm, Mk("PLUS", x, nat(3))) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	mk := func(seed int64) Term {
+		r := rand.New(rand.NewSource(seed))
+		var gen func(depth int) Term
+		gen = func(depth int) Term {
+			if depth == 0 || r.Intn(3) == 0 {
+				if r.Intn(4) == 0 {
+					return Var{Name: string(rune('x' + r.Intn(3))), Sort: "nat"}
+				}
+				return Const("ZERO")
+			}
+			ops := []string{"SUCC", "PLUS"}
+			op := ops[r.Intn(len(ops))]
+			if op == "SUCC" {
+				return Mk(op, gen(depth-1))
+			}
+			return Mk(op, gen(depth-1), gen(depth-1))
+		}
+		return gen(3)
+	}
+	prop := func(s1, s2 int64) bool {
+		a, b := mk(s1), mk(s2)
+		if Compare(a, a) != 0 || Compare(b, b) != 0 {
+			return false
+		}
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		return (Compare(a, b) == 0) == Equal(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstApply(t *testing.T) {
+	x := Var{Name: "x", Sort: "nat"}
+	y := Var{Name: "y", Sort: "nat"}
+	s := Subst{"x": nat(1)}
+	got := s.Apply(Mk("PLUS", x, y))
+	want := Mk("PLUS", nat(1), y)
+	if !Equal(got, want) {
+		t.Errorf("Apply = %s, want %s", got, want)
+	}
+}
+
+func TestMatch(t *testing.T) {
+	x := Var{Name: "x", Sort: "nat"}
+	y := Var{Name: "y", Sort: "nat"}
+	pat := Mk("PLUS", x, y)
+	s, ok := Match(pat, Mk("PLUS", nat(1), nat(2)))
+	if !ok || !Equal(s["x"], nat(1)) || !Equal(s["y"], nat(2)) {
+		t.Errorf("Match = %v, %v", s, ok)
+	}
+	// nonlinear pattern
+	pat2 := Mk("PLUS", x, x)
+	if _, ok := Match(pat2, Mk("PLUS", nat(1), nat(2))); ok {
+		t.Error("nonlinear match should fail on different args")
+	}
+	if s, ok := Match(pat2, Mk("PLUS", nat(1), nat(1))); !ok || !Equal(s["x"], nat(1)) {
+		t.Error("nonlinear match should succeed on equal args")
+	}
+	if _, ok := Match(Mk("SUCC", x), nat(0)); ok {
+		t.Error("mismatched op should fail")
+	}
+}
+
+func TestUnify(t *testing.T) {
+	x := Var{Name: "x", Sort: "nat"}
+	y := Var{Name: "y", Sort: "nat"}
+	s, ok := Unify(Mk("PLUS", x, nat(1)), Mk("PLUS", nat(2), y))
+	if !ok || !Equal(s.Apply(x), nat(2)) || !Equal(s.Apply(y), nat(1)) {
+		t.Errorf("Unify = %v, %v", s, ok)
+	}
+	// occurs check
+	if _, ok := Unify(x, Mk("SUCC", x)); ok {
+		t.Error("occurs check failed")
+	}
+	// same variable
+	if _, ok := Unify(x, x); !ok {
+		t.Error("x ~ x should unify")
+	}
+	// chained bindings
+	s2, ok := Unify(Mk("PLUS", x, x), Mk("PLUS", y, nat(3)))
+	if !ok || !Equal(s2.Apply(x), nat(3)) || !Equal(s2.Apply(y), nat(3)) {
+		t.Errorf("chained Unify = %v, %v", s2, ok)
+	}
+	if _, ok := Unify(Const("ZERO"), Mk("SUCC", x)); ok {
+		t.Error("ZERO ~ SUCC(x) should fail")
+	}
+}

@@ -1,0 +1,332 @@
+package translate
+
+import (
+	"fmt"
+	"strconv"
+
+	"algrec/internal/algebra"
+	"algrec/internal/core"
+	"algrec/internal/datalog"
+	"algrec/internal/value"
+)
+
+// This file implements the algebra-to-deduction direction of Section 5: "For
+// every sub expression in the query a new predicate name is introduced, and a
+// derived relation is defined." Every introduced predicate is unary — its
+// argument is the set element, which may itself be a tuple. Subtraction
+// becomes negation of the corresponding predicate; an IFP expression becomes
+// recursion through the result predicate, which is faithful to the original
+// query under the *inflationary* semantics (Proposition 5.1, Example 4) and
+// may differ under the valid semantics — exactly the paper's point.
+
+type algTranslator struct {
+	prog *datalog.Program
+	n    int
+}
+
+func (t *algTranslator) fresh() string {
+	t.n++
+	return "e" + strconv.Itoa(t.n) + "_"
+}
+
+func (t *algTranslator) addRule(r datalog.Rule) { t.prog.Rules = append(t.prog.Rules, r) }
+
+// AlgebraToDatalog translates an algebra or IFP-algebra expression into a
+// deductive program whose predicate result holds exactly the elements of the
+// expression's value when evaluated under the inflationary semantics
+// (Proposition 5.1). env maps relation names free in e to predicate names;
+// names not in env map to themselves. The database itself is shipped
+// separately (see DBFacts). Call nodes are rejected: inline algebra=
+// definitions first or use CoreToDatalog.
+func AlgebraToDatalog(e algebra.Expr, result string, env map[string]string) (*datalog.Program, error) {
+	t := &algTranslator{prog: &datalog.Program{}}
+	full := map[string]string{}
+	for k, v := range env {
+		full[k] = v
+	}
+	p, err := t.translate(e, full)
+	if err != nil {
+		return nil, err
+	}
+	x := datalog.Var("X")
+	t.addRule(datalog.Rule{
+		Head: datalog.Atom{Pred: result, Args: []datalog.Term{x}},
+		Body: []datalog.Literal{datalog.Pos(p, x)},
+	})
+	return t.prog, nil
+}
+
+// CoreToDatalog translates an algebra= program into a deductive program
+// (Proposition 5.4): each defined constant becomes a predicate of the same
+// name, and both sides then "interpret subtraction and negation (resp.)
+// using valid semantics". The program is inlined first, so parameterized
+// definitions disappear and recursion goes through the constants'
+// predicates.
+func CoreToDatalog(p *core.Program) (*datalog.Program, error) {
+	q, err := p.Inline()
+	if err != nil {
+		return nil, err
+	}
+	t := &algTranslator{prog: &datalog.Program{}}
+	env := map[string]string{}
+	for _, d := range q.Defs {
+		env[d.Name] = d.Name
+	}
+	x := datalog.Var("X")
+	for _, d := range q.Defs {
+		bp, err := t.translate(d.Body, env)
+		if err != nil {
+			return nil, fmt.Errorf("translate: definition of %q: %w", d.Name, err)
+		}
+		t.addRule(datalog.Rule{
+			Head: datalog.Atom{Pred: d.Name, Args: []datalog.Term{x}},
+			Body: []datalog.Literal{datalog.Pos(bp, x)},
+		})
+	}
+	return t.prog, nil
+}
+
+func (t *algTranslator) translate(e algebra.Expr, env map[string]string) (string, error) {
+	x := datalog.Var("X")
+	y := datalog.Var("Y")
+	switch ee := e.(type) {
+	case algebra.Rel:
+		if p, ok := env[ee.Name]; ok {
+			return p, nil
+		}
+		return ee.Name, nil
+	case algebra.Lit:
+		p := t.fresh()
+		for _, v := range ee.Set.Elems() {
+			t.addRule(datalog.Rule{Head: datalog.Atom{Pred: p, Args: []datalog.Term{datalog.C(v)}}})
+		}
+		return p, nil
+	case algebra.Union:
+		l, err := t.translate(ee.L, env)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.translate(ee.R, env)
+		if err != nil {
+			return "", err
+		}
+		p := t.fresh()
+		t.addRule(datalog.Rule{Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}}, Body: []datalog.Literal{datalog.Pos(l, x)}})
+		t.addRule(datalog.Rule{Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}}, Body: []datalog.Literal{datalog.Pos(r, x)}})
+		return p, nil
+	case algebra.Diff:
+		// The Flip-annotated anti-join — Diff(L, π₁(σ(Flip(L) × Q))), the
+		// shape DatalogToCore emits for a negated atom — has an exact
+		// fact-level image: a single negated atom over Q with the row value
+		// computed from the element. This restores the correlation that the
+		// generic subexpression-per-predicate translation would lose:
+		// negation would otherwise range over a predicate chain containing
+		// L itself, putting recursive programs into a negative cycle the
+		// original never had.
+		if aj, ok := antiJoinParts(ee); ok {
+			pl, err := t.translate(aj.env, env)
+			if err != nil {
+				return "", err
+			}
+			pq, err := t.translate(aj.q, env)
+			if err != nil {
+				return "", err
+			}
+			rowTerm, err := fexprToTerm(aj.row, map[string]datalog.Term{antiJoinElemVar: x})
+			if err != nil {
+				return "", err
+			}
+			p := t.fresh()
+			t.addRule(datalog.Rule{
+				Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}},
+				Body: []datalog.Literal{
+					datalog.Pos(pl, x),
+					datalog.LitAtom{Neg: true, Atom: datalog.Atom{Pred: pq, Args: []datalog.Term{rowTerm}}},
+				},
+			})
+			return p, nil
+		}
+		l, err := t.translate(ee.L, env)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.translate(ee.R, env)
+		if err != nil {
+			return "", err
+		}
+		p := t.fresh()
+		// "E1 − E2 is represented by a rule R1(x), ¬R2(x) → R(x)."
+		t.addRule(datalog.Rule{
+			Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}},
+			Body: []datalog.Literal{datalog.Pos(l, x), datalog.Neg(r, x)},
+		})
+		return p, nil
+	case algebra.Product:
+		l, err := t.translate(ee.L, env)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.translate(ee.R, env)
+		if err != nil {
+			return "", err
+		}
+		p := t.fresh()
+		t.addRule(datalog.Rule{
+			Head: datalog.Atom{Pred: p, Args: []datalog.Term{datalog.Apply{Fn: "tup", Args: []datalog.Term{x, y}}}},
+			Body: []datalog.Literal{datalog.Pos(l, x), datalog.Pos(r, y)},
+		})
+		return p, nil
+	case algebra.Select:
+		of, err := t.translate(ee.Of, env)
+		if err != nil {
+			return "", err
+		}
+		test, err := fexprToTerm(ee.Test, map[string]datalog.Term{ee.Var: x})
+		if err != nil {
+			return "", err
+		}
+		p := t.fresh()
+		t.addRule(datalog.Rule{
+			Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}},
+			Body: []datalog.Literal{
+				datalog.Pos(of, x),
+				datalog.Cmp(datalog.OpEq, test, datalog.C(value.True)),
+			},
+		})
+		return p, nil
+	case algebra.Map:
+		of, err := t.translate(ee.Of, env)
+		if err != nil {
+			return "", err
+		}
+		out, err := fexprToTerm(ee.Out, map[string]datalog.Term{ee.Var: x})
+		if err != nil {
+			return "", err
+		}
+		p := t.fresh()
+		t.addRule(datalog.Rule{
+			Head: datalog.Atom{Pred: p, Args: []datalog.Term{y}},
+			Body: []datalog.Literal{datalog.Pos(of, x), datalog.Cmp(datalog.OpEq, y, out)},
+		})
+		return p, nil
+	case algebra.IFP:
+		// "A fixed point expression IFP_exp is translated by first
+		// translating exp and then introducing recursion in the deduction."
+		p := t.fresh()
+		inner := map[string]string{}
+		for k, v := range env {
+			inner[k] = v
+		}
+		inner[ee.Var] = p
+		b, err := t.translate(ee.Body, inner)
+		if err != nil {
+			return "", err
+		}
+		t.addRule(datalog.Rule{
+			Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}},
+			Body: []datalog.Literal{datalog.Pos(b, x)},
+		})
+		return p, nil
+	case algebra.Flip:
+		// The fact-level valid semantics is already exact; the polarity
+		// annotation is transparent here.
+		return t.translate(ee.E, env)
+	case algebra.Call:
+		return "", fmt.Errorf("translate: unexpanded call to %q (inline the algebra= program first or use CoreToDatalog)", ee.Name)
+	default:
+		panic(fmt.Sprintf("translate: unknown Expr %T", e))
+	}
+}
+
+// fexprToTerm compiles an element-level expression to a deductive term over
+// the interpreted function symbols; boolean structure compiles to the
+// boolean-valued builtins band/bor/bnot/eq/... so that a selection test
+// becomes the single guard literal `term = true`.
+func fexprToTerm(e algebra.FExpr, vars map[string]datalog.Term) (datalog.Term, error) {
+	switch ee := e.(type) {
+	case algebra.FVar:
+		tm, ok := vars[ee.Name]
+		if !ok {
+			return nil, fmt.Errorf("translate: unbound element variable %q", ee.Name)
+		}
+		return tm, nil
+	case algebra.FConst:
+		return datalog.C(ee.V), nil
+	case algebra.FField:
+		of, err := fexprToTerm(ee.Of, vars)
+		if err != nil {
+			return nil, err
+		}
+		return datalog.Apply{Fn: "field", Args: []datalog.Term{of, datalog.CInt(int64(ee.Idx))}}, nil
+	case algebra.FTuple:
+		args := make([]datalog.Term, len(ee.Elems))
+		for i, el := range ee.Elems {
+			a, err := fexprToTerm(el, vars)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = a
+		}
+		return datalog.Apply{Fn: "tup", Args: args}, nil
+	case algebra.FCmp:
+		var fn string
+		switch ee.Op {
+		case algebra.OpEq:
+			fn = "eq"
+		case algebra.OpNe:
+			fn = "ne"
+		case algebra.OpLt:
+			fn = "lt"
+		case algebra.OpLe:
+			fn = "le"
+		case algebra.OpGt:
+			fn = "gt"
+		case algebra.OpGe:
+			fn = "ge"
+		default:
+			return nil, fmt.Errorf("translate: unknown comparison %v", ee.Op)
+		}
+		return apply2(fn, ee.L, ee.R, vars)
+	case algebra.FArith:
+		var fn string
+		switch ee.Op {
+		case algebra.OpPlus:
+			fn = "plus"
+		case algebra.OpMinus:
+			fn = "minus"
+		case algebra.OpTimes:
+			fn = "times"
+		case algebra.OpMod:
+			fn = "mod"
+		default:
+			return nil, fmt.Errorf("translate: unknown arithmetic operator %v", ee.Op)
+		}
+		return apply2(fn, ee.L, ee.R, vars)
+	case algebra.FAnd:
+		return apply2("band", ee.L, ee.R, vars)
+	case algebra.FOr:
+		return apply2("bor", ee.L, ee.R, vars)
+	case algebra.FNot:
+		a, err := fexprToTerm(ee.E, vars)
+		if err != nil {
+			return nil, err
+		}
+		return datalog.Apply{Fn: "bnot", Args: []datalog.Term{a}}, nil
+	case algebra.FMem:
+		return apply2("ismem", ee.Elem, ee.Set, vars)
+	default:
+		panic(fmt.Sprintf("translate: unknown FExpr %T", e))
+	}
+}
+
+func apply2(fn string, l, r algebra.FExpr, vars map[string]datalog.Term) (datalog.Term, error) {
+	lt, err := fexprToTerm(l, vars)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := fexprToTerm(r, vars)
+	if err != nil {
+		return nil, err
+	}
+	return datalog.Apply{Fn: fn, Args: []datalog.Term{lt, rt}}, nil
+}

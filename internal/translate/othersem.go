@@ -1,0 +1,101 @@
+package translate
+
+import (
+	"sort"
+
+	"algrec/internal/algebra"
+	"algrec/internal/core"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/semantics"
+	"algrec/internal/value"
+)
+
+// This file makes the paper's concluding remark executable: "The results of
+// this work can be easily adjusted to capture other semantics for negation,
+// e.g. the well-founded or the stable-model semantics, by modifying the
+// definition of the initial valid model accordingly." An algebra= program is
+// given a stable-model (or well-founded) reading by translating it to
+// deduction (Proposition 5.4) and evaluating there, then converting each
+// model back to sets.
+
+// StableSets evaluates an algebra= program under the stable-model reading:
+// each returned map is one stable model, giving the content of every defined
+// set. maxUndef bounds the residual search as in Engine.StableModels. The
+// models are returned in a deterministic order.
+//
+// On the paper's cyclic WIN game this branches: move(a,b), move(b,a) yields
+// two stable models, {win = {a}} and {win = {b}}, while the valid semantics
+// leaves both memberships undefined.
+func StableSets(p *core.Program, db algebra.DB, maxUndef int) ([]map[string]value.Set, error) {
+	q, g, err := programToGround(p, db)
+	if err != nil {
+		return nil, err
+	}
+	models, err := semantics.NewEngine(g).StableModels(maxUndef)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]value.Set, 0, len(models))
+	for _, m := range models {
+		sets := map[string]value.Set{}
+		for _, d := range q.Defs {
+			sets[d.Name] = TrueSet(m, d.Name)
+		}
+		out = append(out, sets)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessSetMap(out[i], out[j]) })
+	return out, nil
+}
+
+// WellFoundedSets evaluates an algebra= program under the well-founded
+// reading via the deductive translation, returning certain and possible
+// bounds per defined set. On this repository's corpus it coincides with
+// core.EvalValid — that agreement is tested, mirroring the paper's remark.
+func WellFoundedSets(p *core.Program, db algebra.DB) (lower, upper map[string]value.Set, err error) {
+	q, g, err := programToGround(p, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	wf := semantics.NewEngine(g).WellFounded()
+	lower = map[string]value.Set{}
+	upper = map[string]value.Set{}
+	for _, d := range q.Defs {
+		lower[d.Name] = TrueSet(wf, d.Name)
+		upper[d.Name] = TrueSet(wf, d.Name).Union(UndefSet(wf, d.Name))
+	}
+	return lower, upper, nil
+}
+
+// programToGround translates an algebra= program plus database to a ground
+// deductive program, also returning the inlined program (for the definition
+// list).
+func programToGround(p *core.Program, db algebra.DB) (*core.Program, *ground.Program, error) {
+	q, err := p.Inline()
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := CoreToDatalog(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog.AddFacts(DBFacts(db)...)
+	g, err := ground.Ground(prog, ground.Budget{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, g, nil
+}
+
+func lessSetMap(a, b map[string]value.Set) bool {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if c := a[k].Compare(b[k]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package translate
+
+import (
+	"testing"
+
+	"algrec/internal/algebra"
+	"algrec/internal/core"
+	"algrec/internal/value"
+)
+
+// TestStableSetsWinBranching: the paper's conclusion promises the results
+// adjust to the stable-model semantics; on the pure 2-cycle game the stable
+// reading branches into two models, one per winner.
+func TestStableSetsWinBranching(t *testing.T) {
+	db := algebra.DB{"move": pairsOf([2]string{"a", "b"}, [2]string{"b", "a"})}
+	models, err := StableSets(winCore(), db, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("got %d stable readings, want 2", len(models))
+	}
+	a := value.NewSet(value.String("a"))
+	b := value.NewSet(value.String("b"))
+	if !value.Equal(models[0]["win"], a) || !value.Equal(models[1]["win"], b) {
+		t.Errorf("stable WIN sets = %v, %v; want {a}, {b}", models[0]["win"], models[1]["win"])
+	}
+	// The odd loop S = {a} − S has no stable reading at all.
+	p := &core.Program{Defs: []core.Def{{Name: "s",
+		Body: algebra.Diff{L: algebra.Singleton(value.String("a")), R: algebra.Rel{Name: "s"}}}}}
+	none, err := StableSets(p, algebra.DB{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("S = {a} − S should have no stable reading, got %v", none)
+	}
+}
+
+// TestStableSetsTotalValid: when the valid interpretation is two-valued, the
+// stable reading is unique and coincides with it.
+func TestStableSetsTotalValid(t *testing.T) {
+	db := algebra.DB{"move": pairsOf([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"b", "d"})}
+	res, err := core.EvalValid(winCore(), db, algebra.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WellDefined() {
+		t.Fatal("precondition: acyclic game is well defined")
+	}
+	models, err := StableSets(winCore(), db, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 {
+		t.Fatalf("got %d stable readings, want 1", len(models))
+	}
+	if !value.Equal(models[0]["win"], res.Set("win")) {
+		t.Errorf("stable = %v, valid = %v", models[0]["win"], res.Set("win"))
+	}
+}
+
+// TestWellFoundedSetsMatchValid: the well-founded reading of an algebra=
+// program coincides with core.EvalValid on the corpus (the paper's remark
+// that its results transfer between the two semantics).
+func TestWellFoundedSetsMatchValid(t *testing.T) {
+	dbs := []algebra.DB{
+		{"move": pairsOf([2]string{"a", "b"}, [2]string{"b", "c"})},
+		{"move": pairsOf([2]string{"a", "a"})},
+		{"move": pairsOf([2]string{"a", "a"}, [2]string{"a", "b"}, [2]string{"b", "a"})},
+	}
+	for _, db := range dbs {
+		res, err := core.EvalValid(winCore(), db, algebra.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, up, err := WellFoundedSets(winCore(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(lo["win"], res.Set("win")) {
+			t.Errorf("db %v: WFS lower %v vs valid %v", db, lo["win"], res.Set("win"))
+		}
+		if !value.Equal(up["win"], res.Upper["win"]) {
+			t.Errorf("db %v: WFS upper %v vs valid %v", db, up["win"], res.Upper["win"])
+		}
+	}
+}
+
+// TestStableSetsEveryModelExtendsValid: every stable reading contains the
+// valid lower bound and stays within the upper bound.
+func TestStableSetsEveryModelExtendsValid(t *testing.T) {
+	db := algebra.DB{"move": pairsOf(
+		[2]string{"a", "b"}, [2]string{"b", "a"}, [2]string{"b", "c"}, [2]string{"c", "d"})}
+	res, err := core.EvalValid(winCore(), db, algebra.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := StableSets(winCore(), db, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) == 0 {
+		t.Fatal("expected at least one stable reading")
+	}
+	for _, m := range models {
+		if !res.Set("win").Subset(m["win"]) {
+			t.Errorf("stable model %v misses valid-certain %v", m["win"], res.Set("win"))
+		}
+		if !m["win"].Subset(res.Upper["win"]) {
+			t.Errorf("stable model %v exceeds valid-possible %v", m["win"], res.Upper["win"])
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package translate
+
+import (
+	"algrec/internal/algebra"
+	"algrec/internal/core"
+	"algrec/internal/datalog/ground"
+)
+
+// CertainlyWellDefined is a sufficient (not necessary) check that an
+// algebra= program has an initial valid model on the given database, without
+// running the full valid-model alternation: it grounds the Proposition 5.4
+// translation and tests local stratification — the argument by which the
+// paper proves Theorem 3.1 ("based on a 'local stratification' argument").
+// A locally stratified ground program has a two-valued well-founded/valid
+// model, so a true result guarantees core.EvalValid will report WellDefined.
+//
+// A false result is inconclusive: programs can be well defined on a database
+// without being locally stratified (the ill-definedness may be confined to
+// atoms whose undefinedness cancels out), and by Proposition 3.2 no complete
+// syntactic check exists. Errors come from translation or from the grounding
+// budget.
+func CertainlyWellDefined(p *core.Program, db algebra.DB) (bool, error) {
+	_, g, err := programToGround(p, db)
+	if err != nil {
+		return false, err
+	}
+	return ground.LocallyStratified(g), nil
+}

@@ -1,0 +1,257 @@
+package value
+
+import "strings"
+
+// Set is a finite set of values in canonical form: the elements are sorted by
+// the total order on values and contain no duplicates. The zero Set is the
+// empty set (the algebra's EMPTY constant).
+type Set struct {
+	elems []Value // sorted, deduplicated; never mutated after construction
+}
+
+// EmptySet is the empty set.
+var EmptySet = Set{}
+
+// Kind implements Value.
+func (Set) Kind() Kind { return KindSet }
+
+// NewSet returns the set of the given elements, canonicalizing order and
+// duplicates (so INS is idempotent and commutative by construction, the two
+// SET(nat) equations of the paper's Section 2.1).
+func NewSet(elems ...Value) Set {
+	if len(elems) == 0 {
+		return Set{}
+	}
+	cp := make([]Value, len(elems))
+	copy(cp, elems)
+	SortValues(cp)
+	out := cp[:1]
+	for _, v := range cp[1:] {
+		if v.Compare(out[len(out)-1]) != 0 {
+			out = append(out, v)
+		}
+	}
+	return Set{elems: out}
+}
+
+// setFromSorted wraps an already-sorted, already-deduplicated slice without
+// copying. Callers must not retain the slice.
+func setFromSorted(elems []Value) Set { return Set{elems: elems} }
+
+// Len returns the number of elements.
+func (s Set) Len() int { return len(s.elems) }
+
+// IsEmpty reports whether the set has no elements.
+func (s Set) IsEmpty() bool { return len(s.elems) == 0 }
+
+// Elems returns a copy of the elements in sorted order.
+func (s Set) Elems() []Value {
+	cp := make([]Value, len(s.elems))
+	copy(cp, s.elems)
+	return cp
+}
+
+// Has reports whether v is a member of s (the paper's MEM, on finite sets).
+func (s Set) Has(v Value) bool {
+	lo, hi := 0, len(s.elems)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := s.elems[mid].Compare(v)
+		switch {
+		case c < 0:
+			lo = mid + 1
+		case c > 0:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Insert returns s ∪ {v} (the paper's INS).
+func (s Set) Insert(v Value) Set {
+	if s.Has(v) {
+		return s
+	}
+	out := make([]Value, 0, len(s.elems)+1)
+	placed := false
+	for _, e := range s.elems {
+		if !placed && v.Compare(e) < 0 {
+			out = append(out, v)
+			placed = true
+		}
+		out = append(out, e)
+	}
+	if !placed {
+		out = append(out, v)
+	}
+	return setFromSorted(out)
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	if s.IsEmpty() {
+		return t
+	}
+	if t.IsEmpty() {
+		return s
+	}
+	out := make([]Value, 0, len(s.elems)+len(t.elems))
+	i, j := 0, 0
+	for i < len(s.elems) && j < len(t.elems) {
+		c := s.elems[i].Compare(t.elems[j])
+		switch {
+		case c < 0:
+			out = append(out, s.elems[i])
+			i++
+		case c > 0:
+			out = append(out, t.elems[j])
+			j++
+		default:
+			out = append(out, s.elems[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.elems[i:]...)
+	out = append(out, t.elems[j:]...)
+	return setFromSorted(out)
+}
+
+// Diff returns s − t (the algebra's subtraction).
+func (s Set) Diff(t Set) Set {
+	if s.IsEmpty() || t.IsEmpty() {
+		return s
+	}
+	out := make([]Value, 0, len(s.elems))
+	i, j := 0, 0
+	for i < len(s.elems) {
+		if j >= len(t.elems) {
+			out = append(out, s.elems[i:]...)
+			break
+		}
+		c := s.elems[i].Compare(t.elems[j])
+		switch {
+		case c < 0:
+			out = append(out, s.elems[i])
+			i++
+		case c > 0:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return setFromSorted(out)
+}
+
+// Intersect returns s ∩ t. Intersection is not a primitive of the algebra;
+// the paper defines it by the algebra= equation x ∩ y = x − (x − y)
+// (Example 3), and a test checks this implementation against that equation.
+func (s Set) Intersect(t Set) Set {
+	out := make([]Value, 0)
+	i, j := 0, 0
+	for i < len(s.elems) && j < len(t.elems) {
+		c := s.elems[i].Compare(t.elems[j])
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			out = append(out, s.elems[i])
+			i++
+			j++
+		}
+	}
+	return setFromSorted(out)
+}
+
+// Product returns the cartesian product s × t: the set of pairs (a, b) with
+// a ∈ s and b ∈ t.
+func (s Set) Product(t Set) Set {
+	out := make([]Value, 0, len(s.elems)*len(t.elems))
+	for _, a := range s.elems {
+		for _, b := range t.elems {
+			out = append(out, Pair(a, b))
+		}
+	}
+	// Pairs of sorted factors are produced in sorted order already, but we
+	// defensively canonicalize: tuple order is lexicographic, so the nested
+	// loop does emit sorted output; NewSet would re-sort needlessly.
+	return setFromSorted(out)
+}
+
+// Subset reports whether every element of s is in t.
+func (s Set) Subset(t Set) bool {
+	if len(s.elems) > len(t.elems) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(s.elems) && j < len(t.elems) {
+		c := s.elems[i].Compare(t.elems[j])
+		switch {
+		case c < 0:
+			return false
+		case c > 0:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return i == len(s.elems)
+}
+
+// Compare implements Value.
+func (s Set) Compare(other Value) int {
+	if c := compareKinds(s, other); c != 0 {
+		return c
+	}
+	return compareSlices(s.elems, other.(Set).elems)
+}
+
+// String implements Value.
+func (s Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, e := range s.elems {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Map returns the set {f(x) : x ∈ s}, the semantic core of the algebra's
+// MAP_f operator. If f returns an error for any element, Map returns it.
+func (s Set) Map(f func(Value) (Value, error)) (Set, error) {
+	out := make([]Value, 0, len(s.elems))
+	for _, e := range s.elems {
+		v, err := f(e)
+		if err != nil {
+			return Set{}, err
+		}
+		out = append(out, v)
+	}
+	return NewSet(out...), nil
+}
+
+// Select returns the set {x ∈ s : pred(x)}, the semantic core of the
+// algebra's σ operator.
+func (s Set) Select(pred func(Value) (bool, error)) (Set, error) {
+	out := make([]Value, 0, len(s.elems))
+	for _, e := range s.elems {
+		ok, err := pred(e)
+		if err != nil {
+			return Set{}, err
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return setFromSorted(out), nil
+}

@@ -1,0 +1,279 @@
+// Package value implements the complex-object data model shared by every
+// language in this repository: the algebra, algebra=, and the deductive
+// language all manipulate the same universe of values.
+//
+// A Value is a boolean, a 64-bit integer, a string (which doubles as an
+// uninterpreted atom/symbol), a tuple of values, or a finite set of values.
+// Values are immutable once constructed. Sets are kept in a canonical sorted,
+// duplicate-free form, so structural equality coincides with set equality and
+// String() is an injective encoding usable as a map key.
+//
+// The total order provided by Compare is arbitrary but fixed: values of
+// different kinds are ordered by kind, and values of the same kind are ordered
+// by their natural content order. The order exists to canonicalize sets and to
+// make results deterministic; no language construct exposes it except the
+// explicit comparison predicates on integers and strings.
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the variant of a Value.
+type Kind uint8
+
+// The value kinds, in comparison order.
+const (
+	KindBool Kind = iota
+	KindInt
+	KindString
+	KindTuple
+	KindSet
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindTuple:
+		return "tuple"
+	case KindSet:
+		return "set"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a complex-object value. It is a sealed interface: the only
+// implementations are Bool, Int, String, Tuple and Set.
+type Value interface {
+	// Kind reports the variant.
+	Kind() Kind
+	// Compare returns -1, 0 or +1 as the receiver sorts before, equal to,
+	// or after other in the fixed total order on values.
+	Compare(other Value) int
+	// String returns a canonical, injective textual encoding.
+	String() string
+
+	isValue()
+}
+
+// Bool is a boolean value. The paper treats TRUE and FALSE as ordinary
+// values of the specification (not meta-level truth), which is exactly why
+// negation is needed to define MEM totally; Bool plays that role here.
+type Bool bool
+
+// Int is a 64-bit integer value.
+type Int int64
+
+// String is a string value; lowercase identifiers in program text (symbols
+// such as `a` or `paris`) are represented as String values.
+type String string
+
+// Tuple is an ordered, fixed-length sequence of values.
+type Tuple struct {
+	elems []Value
+}
+
+func (Bool) isValue()   {}
+func (Int) isValue()    {}
+func (String) isValue() {}
+func (Tuple) isValue()  {}
+func (Set) isValue()    {}
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+
+// Kind implements Value.
+func (Int) Kind() Kind { return KindInt }
+
+// Kind implements Value.
+func (String) Kind() Kind { return KindString }
+
+// Kind implements Value.
+func (Tuple) Kind() Kind { return KindTuple }
+
+// True and False are the boolean constants.
+var (
+	True  = Bool(true)
+	False = Bool(false)
+)
+
+// NewTuple returns the tuple of the given elements. The slice is copied.
+func NewTuple(elems ...Value) Tuple {
+	cp := make([]Value, len(elems))
+	copy(cp, elems)
+	return Tuple{elems: cp}
+}
+
+// Pair returns the 2-tuple [a, b], the element shape produced by the
+// algebra's cartesian product.
+func Pair(a, b Value) Tuple { return NewTuple(a, b) }
+
+// Len returns the number of elements of the tuple.
+func (t Tuple) Len() int { return len(t.elems) }
+
+// At returns the i-th element, 0-based. It panics if i is out of range.
+func (t Tuple) At(i int) Value { return t.elems[i] }
+
+// Elems returns a copy of the tuple's elements.
+func (t Tuple) Elems() []Value {
+	cp := make([]Value, len(t.elems))
+	copy(cp, t.elems)
+	return cp
+}
+
+// Compare implements Value.
+func (b Bool) Compare(other Value) int {
+	if c := compareKinds(b, other); c != 0 {
+		return c
+	}
+	o := other.(Bool)
+	switch {
+	case b == o:
+		return 0
+	case !bool(b): // false < true
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Compare implements Value.
+func (i Int) Compare(other Value) int {
+	if c := compareKinds(i, other); c != 0 {
+		return c
+	}
+	o := other.(Int)
+	switch {
+	case i < o:
+		return -1
+	case i > o:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Compare implements Value.
+func (s String) Compare(other Value) int {
+	if c := compareKinds(s, other); c != 0 {
+		return c
+	}
+	return strings.Compare(string(s), string(other.(String)))
+}
+
+// Compare implements Value.
+func (t Tuple) Compare(other Value) int {
+	if c := compareKinds(t, other); c != 0 {
+		return c
+	}
+	o := other.(Tuple)
+	return compareSlices(t.elems, o.elems)
+}
+
+func compareKinds(a, b Value) int {
+	ka, kb := a.Kind(), b.Kind()
+	switch {
+	case ka < kb:
+		return -1
+	case ka > kb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareSlices(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether a and b are the same value.
+func Equal(a, b Value) bool { return a.Compare(b) == 0 }
+
+// String implements Value.
+func (b Bool) String() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// String implements Value.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// String implements Value. Symbols made of lowercase letters, digits and
+// underscores print bare; anything else prints quoted, keeping the encoding
+// injective.
+func (s String) String() string {
+	if isBareSymbol(string(s)) {
+		return string(s)
+	}
+	return strconv.Quote(string(s))
+}
+
+func isBareSymbol(s string) bool {
+	if s == "" || s == "true" || s == "false" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Value.
+func (t Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, e := range t.elems {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Key returns the canonical map key for v. It is v.String(); the alias exists
+// to make call sites that use values as map keys self-describing.
+func Key(v Value) string { return v.String() }
+
+// SortValues sorts vs in place by the total order on values.
+func SortValues(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+}

@@ -1,0 +1,328 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randValue builds a random value of bounded depth; it is the shared
+// generator for the package's property tests.
+func randValue(r *rand.Rand, depth int) Value {
+	kinds := 3
+	if depth > 0 {
+		kinds = 5
+	}
+	switch r.Intn(kinds) {
+	case 0:
+		return Bool(r.Intn(2) == 0)
+	case 1:
+		return Int(r.Intn(20) - 10)
+	case 2:
+		syms := []string{"a", "b", "c", "d", "hello world", "", "x_1"}
+		return String(syms[r.Intn(len(syms))])
+	case 3:
+		n := r.Intn(3)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randValue(r, depth-1)
+		}
+		return NewTuple(elems...)
+	default:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randValue(r, depth-1)
+		}
+		return NewSet(elems...)
+	}
+}
+
+func randSet(r *rand.Rand, n int) Set {
+	elems := make([]Value, r.Intn(n+1))
+	for i := range elems {
+		elems[i] = randValue(r, 2)
+	}
+	return NewSet(elems...)
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// Antisymmetry and reflexivity.
+	prop := func(seedA, seedB int64) bool {
+		a := randValue(rand.New(rand.NewSource(seedA)), 3)
+		b := randValue(rand.New(rand.NewSource(seedB)), 3)
+		if a.Compare(a) != 0 || b.Compare(b) != 0 {
+			return false
+		}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitive(t *testing.T) {
+	prop := func(s1, s2, s3 int64) bool {
+		a := randValue(rand.New(rand.NewSource(s1)), 3)
+		b := randValue(rand.New(rand.NewSource(s2)), 3)
+		c := randValue(rand.New(rand.NewSource(s3)), 3)
+		// sort the three and verify pairwise consistency
+		vs := []Value{a, b, c}
+		SortValues(vs)
+		return vs[0].Compare(vs[1]) <= 0 && vs[1].Compare(vs[2]) <= 0 && vs[0].Compare(vs[2]) <= 0
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringInjective(t *testing.T) {
+	prop := func(s1, s2 int64) bool {
+		a := randValue(rand.New(rand.NewSource(s1)), 3)
+		b := randValue(rand.New(rand.NewSource(s2)), 3)
+		if Equal(a, b) {
+			return a.String() == b.String()
+		}
+		return a.String() != b.String()
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{True, "true"},
+		{False, "false"},
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{String("abc"), "abc"},
+		{String("x_1"), "x_1"},
+		{String("Hello"), `"Hello"`},
+		{String(""), `""`},
+		{String("true"), `"true"`},
+		{String("1abc"), `"1abc"`},
+		{NewTuple(Int(1), String("a")), "(1, a)"},
+		{NewSet(), "{}"},
+		{NewSet(Int(2), Int(1), Int(2)), "{1, 2}"},
+		{NewSet(NewTuple(Int(1), Int(2))), "{(1, 2)}"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSetCanonicalization(t *testing.T) {
+	// INS is idempotent and commutative (the two SET(nat) equations).
+	a := NewSet(Int(1), Int(2), Int(3))
+	b := NewSet(Int(3), Int(3), Int(2), Int(1), Int(2))
+	if !Equal(a, b) {
+		t.Errorf("canonicalization failed: %v vs %v", a, b)
+	}
+	if got := EmptySet.Insert(Int(5)).Insert(Int(5)).Insert(Int(4)); !Equal(got, NewSet(Int(4), Int(5))) {
+		t.Errorf("Insert chain = %v", got)
+	}
+}
+
+func TestSetMembership(t *testing.T) {
+	s := NewSet(Int(1), String("a"), NewTuple(Int(1), Int(2)))
+	for _, v := range s.Elems() {
+		if !s.Has(v) {
+			t.Errorf("Has(%v) = false, want true", v)
+		}
+	}
+	for _, v := range []Value{Int(2), String("b"), NewTuple(Int(2), Int(1)), True} {
+		if s.Has(v) {
+			t.Errorf("Has(%v) = true, want false", v)
+		}
+	}
+	if EmptySet.Has(Int(0)) {
+		t.Error("EmptySet.Has(0) = true")
+	}
+}
+
+func TestSetAlgebraLaws(t *testing.T) {
+	prop := func(s1, s2, s3 int64) bool {
+		r := rand.New(rand.NewSource(s1))
+		a := randSet(r, 6)
+		b := randSet(rand.New(rand.NewSource(s2)), 6)
+		c := randSet(rand.New(rand.NewSource(s3)), 6)
+		// commutativity, associativity, distribution, De Morgan-ish diff laws
+		if !Equal(a.Union(b), b.Union(a)) {
+			return false
+		}
+		if !Equal(a.Union(b.Union(c)), a.Union(b).Union(c)) {
+			return false
+		}
+		if !Equal(a.Intersect(b), b.Intersect(a)) {
+			return false
+		}
+		// the paper's Example 3: x ∩ y = x − (x − y)
+		if !Equal(a.Intersect(b), a.Diff(a.Diff(b))) {
+			return false
+		}
+		// xor definition: (x − y) ∪ (y − x)
+		xor := a.Diff(b).Union(b.Diff(a))
+		if !Equal(xor, a.Union(b).Diff(a.Intersect(b))) {
+			return false
+		}
+		// diff distributes over union on the left argument's partition
+		if !Equal(a.Diff(b.Union(c)), a.Diff(b).Diff(c)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetUnionDiffMembership(t *testing.T) {
+	prop := func(s1, s2, s3 int64) bool {
+		a := randSet(rand.New(rand.NewSource(s1)), 8)
+		b := randSet(rand.New(rand.NewSource(s2)), 8)
+		v := randValue(rand.New(rand.NewSource(s3)), 2)
+		if a.Union(b).Has(v) != (a.Has(v) || b.Has(v)) {
+			return false
+		}
+		if a.Diff(b).Has(v) != (a.Has(v) && !b.Has(v)) {
+			return false
+		}
+		if a.Intersect(b).Has(v) != (a.Has(v) && b.Has(v)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProduct(t *testing.T) {
+	a := NewSet(Int(1), Int(2))
+	b := NewSet(String("x"), String("y"))
+	p := a.Product(b)
+	if p.Len() != 4 {
+		t.Fatalf("product size = %d, want 4", p.Len())
+	}
+	if !p.Has(Pair(Int(1), String("x"))) || !p.Has(Pair(Int(2), String("y"))) {
+		t.Errorf("product missing pairs: %v", p)
+	}
+	if !EmptySet.Product(b).IsEmpty() || !a.Product(EmptySet).IsEmpty() {
+		t.Error("product with empty set should be empty")
+	}
+	// product emits canonical order: verify against NewSet rebuild
+	rebuilt := NewSet(p.Elems()...)
+	if !Equal(p, rebuilt) {
+		t.Errorf("product not canonical: %v vs %v", p, rebuilt)
+	}
+}
+
+func TestProductCardinality(t *testing.T) {
+	prop := func(s1, s2 int64) bool {
+		a := randSet(rand.New(rand.NewSource(s1)), 6)
+		b := randSet(rand.New(rand.NewSource(s2)), 6)
+		return a.Product(b).Len() == a.Len()*b.Len()
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a := NewSet(Int(1), Int(2))
+	b := NewSet(Int(1), Int(2), Int(3))
+	if !a.Subset(b) || b.Subset(a) {
+		t.Error("subset relation wrong")
+	}
+	if !EmptySet.Subset(a) || !a.Subset(a) {
+		t.Error("trivial subset cases wrong")
+	}
+	prop := func(s1, s2 int64) bool {
+		x := randSet(rand.New(rand.NewSource(s1)), 8)
+		y := randSet(rand.New(rand.NewSource(s2)), 8)
+		return x.Subset(y) == x.Diff(y).IsEmpty()
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapSelect(t *testing.T) {
+	s := NewSet(Int(1), Int(2), Int(3), Int(4))
+	double, err := s.Map(func(v Value) (Value, error) { return Int(v.(Int) * 2), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(double, NewSet(Int(2), Int(4), Int(6), Int(8))) {
+		t.Errorf("Map double = %v", double)
+	}
+	even, err := s.Select(func(v Value) (bool, error) { return v.(Int)%2 == 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(even, NewSet(Int(2), Int(4))) {
+		t.Errorf("Select even = %v", even)
+	}
+	// Map may collapse elements
+	collapsed, err := s.Map(func(Value) (Value, error) { return Int(0), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if collapsed.Len() != 1 {
+		t.Errorf("collapsing map produced %v", collapsed)
+	}
+}
+
+func TestNestedSets(t *testing.T) {
+	inner1 := NewSet(Int(1))
+	inner2 := NewSet(Int(1), Int(2))
+	outer := NewSet(inner1, inner2, inner1)
+	if outer.Len() != 2 {
+		t.Fatalf("nested set size = %d, want 2", outer.Len())
+	}
+	if !outer.Has(NewSet(Int(1))) {
+		t.Error("nested membership by structural equality failed")
+	}
+}
+
+func TestKeyMatchesString(t *testing.T) {
+	prop := func(seed int64) bool {
+		v := randValue(rand.New(rand.NewSource(seed)), 3)
+		return Key(v) == v.String()
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{KindBool: "bool", KindInt: "int", KindString: "string", KindTuple: "tuple", KindSet: "set"}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), w)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}
+
+func TestTupleAccessors(t *testing.T) {
+	tp := NewTuple(Int(1), String("a"))
+	if tp.Len() != 2 || !Equal(tp.At(0), Int(1)) || !Equal(tp.At(1), String("a")) {
+		t.Errorf("tuple accessors wrong: %v", tp)
+	}
+	es := tp.Elems()
+	es[0] = Int(99) // must not alias internal storage
+	if !Equal(tp.At(0), Int(1)) {
+		t.Error("Elems aliases internal storage")
+	}
+}
