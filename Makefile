@@ -1,0 +1,28 @@
+# Tier-1 verification: everything CI gates on.
+.PHONY: all check race bench test vet build clean
+
+all: check
+
+# check is the tier-1 job: build, vet, full test suite.
+check: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# race exercises the packages with internal parallelism (the StableModels
+# worker pool and the sharded experiment runner) under the race detector.
+race:
+	go test -race ./internal/semantics ./internal/expt
+
+# bench runs the full benchmark suite once per target (see also cmd/bench).
+bench:
+	go test -run XXX -bench . -benchtime 1x -timeout 1200s
+
+clean:
+	go clean ./...

@@ -1,5 +1,5 @@
 // Benchmarks: one testing.B target per experiment in DESIGN.md's
-// per-experiment index (E1–E11, P1–P3, ablations A1–A3), plus
+// per-experiment index (E1–E11, P1–P5, ablations A1–A3), plus
 // micro-benchmarks of the individual engines. The experiment functions themselves verify agreement
 // (they are also run as tests in internal/expt); here they are measured.
 package algrec_test
@@ -87,6 +87,14 @@ func BenchmarkP3Stable(b *testing.B) {
 
 func BenchmarkE11IFPElimination(b *testing.B) {
 	runSuite(b, func() (*expt.Table, error) { return expt.RunE11([]int{3, 5}) })
+}
+
+func BenchmarkP4BitsetKernel(b *testing.B) {
+	runSuite(b, func() (*expt.Table, error) { return expt.RunP4([]int{2048}) })
+}
+
+func BenchmarkP5ParallelStable(b *testing.B) {
+	runSuite(b, func() (*expt.Table, error) { return expt.RunP5([]int{8, 10}) })
 }
 
 func BenchmarkA1FlipAblation(b *testing.B) {

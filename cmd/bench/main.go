@@ -1,37 +1,96 @@
-// Command bench runs the experiment suite (DESIGN.md's E1–E10 and P1–P3)
-// and prints one table per experiment. With -markdown the output is the
-// GitHub-flavored markdown recorded in EXPERIMENTS.md.
+// Command bench runs the experiment suite (DESIGN.md's E1–E11, P1–P5 and
+// A1–A3) and prints one table per experiment. With -markdown the output is
+// the GitHub-flavored markdown recorded in EXPERIMENTS.md. With -parallel
+// independent suites and workload sizes run concurrently on a
+// GOMAXPROCS-sized worker pool (tables keep their serial order and content;
+// timings inside a table then measure contended runs). With -json the
+// per-experiment timings and allocation counts are also written to a
+// machine-readable file, so the performance trajectory is comparable across
+// commits.
 //
 // Usage:
 //
-//	bench [-scale N] [-markdown] [-only E9]
+//	bench [-scale N] [-markdown] [-only E9] [-parallel] [-json path]
+//
+// -json accepts either a file name or an existing directory; a directory
+// gets a BENCH_<stamp>.json file created inside it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"time"
 
 	"algrec/internal/expt"
 )
+
+// jsonReport is the schema of the -json output.
+type jsonReport struct {
+	Stamp      string      `json:"stamp"` // RFC 3339 run time
+	Scale      int         `json:"scale"`
+	Parallel   bool        `json:"parallel"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Suites     []jsonSuite `json:"suites"`
+}
+
+type jsonSuite struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	OK         bool       `json:"ok"`
+	WallNS     int64      `json:"wall_ns"`               // parallel runs: summed shard time
+	AllocBytes uint64     `json:"alloc_bytes,omitempty"` // serial runs only
+	Mallocs    uint64     `json:"mallocs,omitempty"`     // serial runs only
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+}
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	markdown := flag.Bool("markdown", false, "emit markdown tables for EXPERIMENTS.md")
 	only := flag.String("only", "", "run a single experiment by id (e.g. E9)")
+	parallel := flag.Bool("parallel", false, "run independent suites and workload sizes concurrently")
+	jsonPath := flag.String("json", "", "write a machine-readable report to this file (or BENCH_<stamp>.json inside this directory)")
 	flag.Parse()
 
+	suites := expt.DefaultSuites(*scale)
+	if *only != "" {
+		var filtered []expt.Suite
+		for _, s := range suites {
+			if s.ID == *only {
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "bench: no experiment %q\n", *only)
+			os.Exit(2)
+		}
+		suites = filtered
+	}
+
+	workers := 1
+	if *parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	results, err := expt.RunSuites(suites, workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+
 	failed := false
-	for _, s := range expt.DefaultSuites(*scale) {
-		if *only != "" && s.ID != *only {
-			continue
-		}
-		tbl, err := s.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", s.ID, err)
-			failed = true
-			continue
-		}
+	report := jsonReport{
+		Stamp:      start.Format(time.RFC3339),
+		Scale:      *scale,
+		Parallel:   *parallel,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, res := range results {
+		tbl := res.Table
 		if *markdown {
 			fmt.Print(tbl.Markdown())
 		} else {
@@ -40,6 +99,34 @@ func main() {
 		if !tbl.OK {
 			failed = true
 		}
+		report.Suites = append(report.Suites, jsonSuite{
+			ID:         tbl.ID,
+			Title:      tbl.Title,
+			OK:         tbl.OK,
+			WallNS:     res.Wall.Nanoseconds(),
+			AllocBytes: res.AllocBytes,
+			Mallocs:    res.Mallocs,
+			Header:     tbl.Header,
+			Rows:       tbl.Rows,
+		})
+	}
+
+	if *jsonPath != "" {
+		path := *jsonPath
+		if st, err := os.Stat(path); err == nil && st.IsDir() {
+			path = filepath.Join(path, "BENCH_"+start.Format("20060102T150405")+".json")
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: writing report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
 	}
 	if failed {
 		os.Exit(1)

@@ -67,6 +67,7 @@ type Rule struct {
 // Program is a ground program: interned atoms plus propositional rules.
 type Program struct {
 	atoms  []datalog.Fact
+	keys   []string // canonical key per atom id, computed once at interning
 	index  map[string]int
 	byPred map[string][]int // atom ids per predicate, in interning order
 	Rules  []Rule
@@ -75,8 +76,18 @@ type Program struct {
 // NumAtoms returns the number of interned ground atoms.
 func (g *Program) NumAtoms() int { return len(g.atoms) }
 
+// Words64 returns the atom count rounded up to 64-bit words: the number of
+// uint64 words a dense truth vector over the atom ids needs. The semantics
+// engines size their bitsets with it.
+func (g *Program) Words64() int { return (len(g.atoms) + 63) / 64 }
+
 // Atom returns the interned atom with the given id.
 func (g *Program) Atom(id int) datalog.Fact { return g.atoms[id] }
+
+// AtomKey returns the canonical key of the interned atom with the given id.
+// The key is computed once during interning; callers that previously rebuilt
+// it via Atom(id).Key() should use this instead.
+func (g *Program) AtomKey(id int) string { return g.keys[id] }
 
 // Lookup returns the id of the given fact and whether it is interned.
 func (g *Program) Lookup(f datalog.Fact) (int, bool) {
@@ -127,6 +138,7 @@ func (g *grounder) intern(f datalog.Fact) (int, error) {
 	}
 	id := len(g.prog.atoms)
 	g.prog.atoms = append(g.prog.atoms, f)
+	g.prog.keys = append(g.prog.keys, key)
 	g.prog.index[key] = id
 	g.prog.byPred[f.Pred] = append(g.prog.byPred[f.Pred], id)
 	g.seqOf = append(g.seqOf, -1)
@@ -192,9 +204,10 @@ type matchMask struct {
 
 // orderedRule pairs a rule's execution plan with per-match-step index masks.
 type orderedRule struct {
-	plan  datalog.BodyPlan
-	head  datalog.Atom
-	masks []matchMask // indexed like plan.Steps; meaningful for match steps
+	plan     datalog.BodyPlan
+	head     datalog.Atom
+	masks    []matchMask // indexed like plan.Steps; meaningful for match steps
+	posPreds []string    // predicate of each positive literal, indexed by PosIdx
 }
 
 func maskSig(pred string, arity int, positions []int) string {
@@ -359,13 +372,16 @@ func (g *grounder) enumerate(or orderedRule, si int, bind *bindFrame, posIDs *[]
 		if rng != nil {
 			lo, hi = rng.bounds(st.PosIdx, deltaIdx, st.Atom.Pred)
 		}
+		if lo > 0 {
+			// Candidate lists are in derivation order, so the window start can
+			// be found by binary search. Skipping the prefix linearly instead
+			// makes the delta passes quadratic in the candidate list length —
+			// cubic overall on transitive-closure-style workloads.
+			cands = cands[sort.Search(len(cands), func(i int) bool { return g.seqOf[cands[i]] >= lo }):]
+		}
 		for _, id := range cands {
-			seq := g.seqOf[id]
-			if seq >= hi {
+			if g.seqOf[id] >= hi {
 				break // candidate lists are in derivation order
-			}
-			if seq < lo {
-				continue
 			}
 			f := g.prog.atoms[id]
 			if len(f.Args) != len(st.Atom.Args) {
@@ -507,7 +523,12 @@ func Ground(p *datalog.Program, budget Budget) (*Program, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ground: %w", err)
 		}
-		or := orderedRule{plan: plan, head: r.Head, masks: computeMasks(plan)}
+		or := orderedRule{plan: plan, head: r.Head, masks: computeMasks(plan), posPreds: make([]string, plan.NumPos)}
+		for _, st := range plan.Steps {
+			if st.Kind == datalog.StepMatch {
+				or.posPreds[st.PosIdx] = st.Atom.Pred
+			}
+		}
 		g.registerMasks(&or)
 		ordered = append(ordered, or)
 	}
@@ -548,6 +569,13 @@ func Ground(p *datalog.Program, budget Budget) (*Program, error) {
 				continue
 			}
 			for d := 0; d < or.plan.NumPos; d++ {
+				// Every complete match must use a last-pass atom at the delta
+				// literal; an empty delta window cannot produce one, and
+				// enumerating the other literals anyway is what turned the
+				// linear-rule passes quadratic.
+				if pred := or.posPreds[d]; curLen[pred] == prevLen[pred] {
+					continue
+				}
 				if err := g.enumerate(or, 0, bind, &posIDs, &ranges{prev: prevLen, cur: curLen}, d); err != nil {
 					return nil, err
 				}

@@ -5,29 +5,36 @@ import (
 	"testing"
 )
 
+// testSuites is the whole experiment suite at a reduced scale.
+func testSuites() []Suite {
+	return []Suite{
+		sharded("E1", []int{6, 10}, RunE1),
+		sharded("E2", []int64{32, 128}, RunE2),
+		whole("E3", []int{4, 6}, RunE3),
+		sharded("E4", []int{8, 16}, RunE4),
+		whole("E5", []int{8, 16}, RunE5),
+		sharded("E6", []int{8, 24}, RunE6),
+		whole("E7", []int{4, 8}, RunE7),
+		sharded("E8", []int{4, 8}, RunE8),
+		sharded("E9", []int{4, 8}, RunE9),
+		sharded("E10", []int{4, 6}, RunE10),
+		whole("E11", []int{4}, RunE11),
+		sharded("P1", []int{16, 32}, RunP1),
+		sharded("P2", []int{8, 16}, RunP2),
+		sharded("P3", []int{2, 4}, RunP3),
+		sharded("P4", []int{32, 64}, RunP4),
+		sharded("P5", []int{3, 5}, RunP5),
+		sharded("A1", []int{60}, RunA1),
+		sharded("A2", []int{8, 16}, RunA2),
+		sharded("A3", []int{8, 16}, RunA3),
+	}
+}
+
 // TestExperimentsPass runs the whole suite at a reduced scale and requires
 // every agreement check to pass — the experiment harness is itself the
 // integration test of the repository.
 func TestExperimentsPass(t *testing.T) {
-	suites := []Suite{
-		{"E1", func() (*Table, error) { return RunE1([]int{6, 10}) }},
-		{"E2", func() (*Table, error) { return RunE2([]int64{32, 128}) }},
-		{"E3", func() (*Table, error) { return RunE3([]int{4, 6}) }},
-		{"E4", func() (*Table, error) { return RunE4([]int{8, 16}) }},
-		{"E5", func() (*Table, error) { return RunE5([]int{8, 16}) }},
-		{"E6", func() (*Table, error) { return RunE6([]int{8, 24}) }},
-		{"E7", func() (*Table, error) { return RunE7([]int{4, 8}) }},
-		{"E8", func() (*Table, error) { return RunE8([]int{4, 8}) }},
-		{"E9", func() (*Table, error) { return RunE9([]int{4, 8}) }},
-		{"E10", func() (*Table, error) { return RunE10([]int{4, 6}) }},
-		{"E11", func() (*Table, error) { return RunE11([]int{4}) }},
-		{"P1", func() (*Table, error) { return RunP1([]int{16, 32}) }},
-		{"P2", func() (*Table, error) { return RunP2([]int{8, 16}) }},
-		{"P3", func() (*Table, error) { return RunP3([]int{2, 4}) }},
-		{"A1", func() (*Table, error) { return RunA1([]int{60}) }},
-		{"A2", func() (*Table, error) { return RunA2([]int{8, 16}) }},
-		{"A3", func() (*Table, error) { return RunA3([]int{8, 16}) }},
-	}
+	suites := testSuites()
 	for _, s := range suites {
 		tbl, err := s.Run()
 		if err != nil {
@@ -67,6 +74,66 @@ func TestWorkloadGenerators(t *testing.T) {
 	sg := SameGenProgram(3)
 	if len(sg.Rules) < 10 {
 		t.Errorf("same-gen program too small: %d rules", len(sg.Rules))
+	}
+}
+
+// TestRunSuitesParallelMatchesSerial runs a slice of the suite both ways:
+// the parallel sharded runner must produce tables with identical ids,
+// headers and rows (timing cells differ only where a duration column exists,
+// so the comparison uses experiments whose cells are deterministic).
+func TestRunSuitesParallelMatchesSerial(t *testing.T) {
+	suites := []Suite{
+		whole("E3", []int{4, 6}, RunE3),
+		sharded("P3", []int{2, 3, 4}, RunP3),
+		sharded("P5", []int{2, 3}, RunP5),
+	}
+	serial, err := RunSuites(suites, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSuites(suites, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		st, pt := serial[i].Table, parallel[i].Table
+		if st.ID != pt.ID || !st.OK || !pt.OK {
+			t.Errorf("suite %s: id/OK mismatch (parallel id %s, OK %v/%v)", st.ID, pt.ID, st.OK, pt.OK)
+		}
+		if len(st.Rows) != len(pt.Rows) {
+			t.Errorf("%s: row counts differ: %d vs %d", st.ID, len(st.Rows), len(pt.Rows))
+			continue
+		}
+		// Deterministic (non-duration) cells must match exactly; row order
+		// must follow shard (= size) order.
+		for r := range st.Rows {
+			if st.Rows[r][0] != pt.Rows[r][0] {
+				t.Errorf("%s row %d: first cell %q vs %q (shard order broken)", st.ID, r, st.Rows[r][0], pt.Rows[r][0])
+			}
+		}
+	}
+	if serial[0].Wall <= 0 {
+		t.Error("serial result missing wall time")
+	}
+	if serial[0].Mallocs == 0 {
+		t.Error("serial result missing allocation counts")
+	}
+}
+
+func TestMergeTables(t *testing.T) {
+	a := &Table{ID: "X", Title: "x", OK: true, Header: []string{"h"}, Notes: []string{"n1"}}
+	a.Add("r1")
+	b := &Table{ID: "X", Title: "x", OK: false, Header: []string{"h"}, Notes: []string{"n1", "n2"}}
+	b.Add("r2")
+	m := mergeTables([]*Table{a, b})
+	if m.ID != "X" || m.OK || len(m.Rows) != 2 || m.Rows[0][0] != "r1" || m.Rows[1][0] != "r2" {
+		t.Errorf("bad merge: %+v", m)
+	}
+	if len(m.Notes) != 2 {
+		t.Errorf("notes not deduplicated+merged: %v", m.Notes)
 	}
 }
 

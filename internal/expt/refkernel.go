@@ -1,0 +1,109 @@
+package expt
+
+import "algrec/internal/datalog/ground"
+
+// refKernel is the frozen pre-bitset fixpoint kernel over []bool truth
+// vectors, allocating its vectors on every pass — the baseline that
+// experiment P4 measures the word-packed semantics.Engine against (the same
+// role semantics.Engine.MinimalNaive plays for P1). A second, independent
+// copy lives in internal/semantics's tests as the property-test oracle.
+type refKernel struct {
+	g      *ground.Program
+	posOcc [][]int
+}
+
+func newRefKernel(g *ground.Program) *refKernel {
+	e := &refKernel{g: g, posOcc: make([][]int, g.NumAtoms())}
+	for ri, r := range g.Rules {
+		for _, a := range r.Pos {
+			e.posOcc[a] = append(e.posOcc[a], ri)
+		}
+	}
+	return e
+}
+
+func (e *refKernel) lfp(enabled func(ruleIdx int) bool, seed []bool) []bool {
+	derived := make([]bool, e.g.NumAtoms())
+	missing := make([]int, len(e.g.Rules))
+	var queue []int
+	deriveAtom := func(a int) {
+		if derived[a] {
+			return
+		}
+		derived[a] = true
+		queue = append(queue, a)
+	}
+	for ri, r := range e.g.Rules {
+		if !enabled(ri) {
+			missing[ri] = -1
+			continue
+		}
+		missing[ri] = len(r.Pos)
+		if missing[ri] == 0 {
+			deriveAtom(r.Head)
+		}
+	}
+	if seed != nil {
+		for a, ok := range seed {
+			if ok {
+				deriveAtom(a)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		a := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ri := range e.posOcc[a] {
+			if missing[ri] <= 0 {
+				continue
+			}
+			missing[ri]--
+			if missing[ri] == 0 {
+				deriveAtom(e.g.Rules[ri].Head)
+			}
+		}
+	}
+	return derived
+}
+
+// minimal is the semi-naive minimal model of a positive program.
+func (e *refKernel) minimal() []bool {
+	return e.lfp(func(int) bool { return true }, nil)
+}
+
+func (e *refKernel) gamma(j []bool) []bool {
+	return e.lfp(func(ri int) bool {
+		for _, a := range e.g.Rules[ri].Neg {
+			if j[a] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+}
+
+func refSame(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// wellFounded runs the alternating fixpoint, returning (T, U).
+func (e *refKernel) wellFounded() (t, u []bool) {
+	t = make([]bool, e.g.NumAtoms())
+	for {
+		u = e.gamma(t)
+		t2 := e.gamma(u)
+		if refSame(t, t2) {
+			break
+		}
+		t = t2
+	}
+	return t, u
+}

@@ -1,0 +1,106 @@
+package semantics
+
+import "math/bits"
+
+// Bitset is a dense truth vector over atom ids, packed 64 atoms per word.
+// It replaces the []bool vectors the fixpoint engines originally used: the
+// word representation makes set equality, complement and copy O(n/64), and
+// lets the engines keep warm buffers instead of reallocating per pass.
+//
+// A Bitset sized for n atoms has (n+63)/64 words; bits at positions >= n are
+// kept zero by every operation except OrNot, whose callers must Trim.
+type Bitset []uint64
+
+// NewBitset returns an all-zero bitset able to hold n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)>>6) }
+
+// Get reports whether bit i is set.
+func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Unset clears bit i.
+func (b Bitset) Unset(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// ClearAll zeroes every word.
+func (b Bitset) ClearAll() { clear(b) }
+
+// CopyFrom overwrites b with o; the sets must have equal length.
+func (b Bitset) CopyFrom(o Bitset) { copy(b, o) }
+
+// Equal reports whether b and o have the same length and identical bits.
+// Unlike the []bool sameSet it replaces — which silently compared only the
+// shorter prefix — a length mismatch is an explicit inequality.
+func (b Bitset) Equal(o Bitset) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i, w := range b {
+		if w != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// And intersects b with o in place.
+func (b Bitset) And(o Bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// AndNot removes o's bits from b in place.
+func (b Bitset) AndNot(o Bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+// Or unions o into b in place.
+func (b Bitset) Or(o Bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// OrNot unions the complement of o into b in place. The complement is taken
+// word-wise, so bits beyond the logical size come out set; callers must Trim
+// to the atom count afterwards.
+func (b Bitset) OrNot(o Bitset) {
+	for i := range b {
+		b[i] |= ^o[i]
+	}
+}
+
+// Trim clears every bit at position >= n.
+func (b Bitset) Trim(n int) {
+	w := n >> 6
+	if w >= len(b) {
+		return
+	}
+	b[w] &= (1 << (uint(n) & 63)) - 1
+	for i := w + 1; i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
+// Popcount returns the number of set bits.
+func (b Bitset) Popcount() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls fn with each set bit's position in increasing order.
+func (b Bitset) ForEach(fn func(int)) {
+	for wi, w := range b {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package semantics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if len(b) != 3 {
+		t.Fatalf("words = %d, want 3", len(b))
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		if b.Get(i) {
+			t.Errorf("fresh bitset has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Popcount(); got != 6 {
+		t.Errorf("Popcount = %d, want 6", got)
+	}
+	b.Unset(64)
+	if b.Get(64) || b.Popcount() != 5 {
+		t.Errorf("Unset(64) failed: get=%v pop=%d", b.Get(64), b.Popcount())
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 1, 63, 65, 129}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach = %v, want %v (increasing order)", got, want)
+		}
+	}
+	b.ClearAll()
+	if b.Popcount() != 0 {
+		t.Error("ClearAll left bits set")
+	}
+}
+
+// TestBitsetEqualLengthMismatch is the regression test for the old sameSet,
+// which compared only the shorter prefix of two []bool vectors: Equal must
+// treat a length mismatch as inequality.
+func TestBitsetEqualLengthMismatch(t *testing.T) {
+	a := NewBitset(64)
+	b := NewBitset(128)
+	if a.Equal(b) {
+		t.Error("bitsets of different lengths compare equal")
+	}
+	if b.Equal(a) {
+		t.Error("Equal is not symmetric on length mismatch")
+	}
+	var empty Bitset
+	if !empty.Equal(Bitset{}) {
+		t.Error("two empty bitsets should be equal")
+	}
+	c := NewBitset(128)
+	if !b.Equal(c) {
+		t.Error("equal-length zero bitsets should be equal")
+	}
+	c.Set(127)
+	if b.Equal(c) {
+		t.Error("bitsets differing in the last bit compare equal")
+	}
+}
+
+func TestBitsetWordOps(t *testing.T) {
+	const n = 200
+	a, b := NewBitset(n), NewBitset(n)
+	r := rand.New(rand.NewSource(7))
+	av, bv := make([]bool, n), make([]bool, n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			a.Set(i)
+			av[i] = true
+		}
+		if r.Intn(2) == 0 {
+			b.Set(i)
+			bv[i] = true
+		}
+	}
+	check := func(name string, got Bitset, want func(i int) bool) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if got.Get(i) != want(i) {
+				t.Fatalf("%s: bit %d = %v, want %v", name, i, got.Get(i), want(i))
+			}
+		}
+	}
+	and := NewBitset(n)
+	and.CopyFrom(a)
+	and.And(b)
+	check("And", and, func(i int) bool { return av[i] && bv[i] })
+	andNot := NewBitset(n)
+	andNot.CopyFrom(a)
+	andNot.AndNot(b)
+	check("AndNot", andNot, func(i int) bool { return av[i] && !bv[i] })
+	or := NewBitset(n)
+	or.CopyFrom(a)
+	or.Or(b)
+	check("Or", or, func(i int) bool { return av[i] || bv[i] })
+	orNot := NewBitset(n)
+	orNot.CopyFrom(a)
+	orNot.OrNot(b)
+	orNot.Trim(n)
+	check("OrNot+Trim", orNot, func(i int) bool { return av[i] || !bv[i] })
+	// Trim must have cleared the tail bits so Popcount stays exact.
+	wantPop := 0
+	for i := 0; i < n; i++ {
+		if av[i] || !bv[i] {
+			wantPop++
+		}
+	}
+	if got := orNot.Popcount(); got != wantPop {
+		t.Errorf("Popcount after OrNot+Trim = %d, want %d", got, wantPop)
+	}
+}
+
+func TestBitsetTrimBoundaries(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128} {
+		b := NewBitset(n)
+		b.OrNot(NewBitset(n)) // all ones, including tail junk
+		b.Trim(n)
+		if got := b.Popcount(); got != n {
+			t.Errorf("n=%d: Popcount after Trim = %d, want %d", n, got, n)
+		}
+	}
+}

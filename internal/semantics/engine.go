@@ -3,34 +3,76 @@ package semantics
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"algrec/internal/datalog/ground"
 )
 
 // Engine evaluates a ground program under the different semantics. It
 // precomputes occurrence indexes so each least-fixpoint pass runs in time
-// linear in the size of the ground program.
+// linear in the size of the ground program, and keeps reusable scratch
+// buffers so repeated passes (the alternating gamma iterations of
+// WellFounded/Valid, the per-stratum passes of Stratified, the per-candidate
+// reduct checks of StableModels) are allocation-free after warm-up.
+//
+// An Engine's methods are not safe for concurrent use by multiple
+// goroutines; StableModels parallelizes internally with per-worker scratch.
 type Engine struct {
-	g      *ground.Program
-	posOcc [][]int // atom id -> indices of rules where it occurs positively
-	negOcc [][]int // atom id -> indices of rules where it occurs negatively
-	hasNeg bool
+	g *ground.Program
+	// The positive-occurrence index in CSR layout: the rules where atom a
+	// occurs positively are posOccFlat[posOccStart[a]:posOccStart[a+1]]. Flat
+	// int32 arrays keep the propagation loop's working set dense — on ground
+	// programs in the millions of rules the fixpoint is memory-bound, and the
+	// pointer-chasing [][]int layout costs ~2x.
+	posOccStart []int32
+	posOccFlat  []int32
+	heads       []int32 // per-rule head atom, so propagation never loads Rule structs
+	missingInit []int32 // per-rule positive body size, memcpy'd into scratch each pass
+	negRules    []int32 // indices of rules with negative body atoms
+	zeroPos     []int32 // indices of rules with empty positive body
+	hasNeg      bool
+	words       int     // bitset length in words, covering all atom ids
+	scr         scratch // buffers for the serial entry points
 }
 
 // NewEngine builds an engine for the ground program.
 func NewEngine(g *ground.Program) *Engine {
+	n := g.NumAtoms()
 	e := &Engine{
-		g:      g,
-		posOcc: make([][]int, g.NumAtoms()),
-		negOcc: make([][]int, g.NumAtoms()),
+		g:           g,
+		posOccStart: make([]int32, n+1),
+		heads:       make([]int32, len(g.Rules)),
+		missingInit: make([]int32, len(g.Rules)),
+		words:       g.Words64(),
 	}
-	for ri, r := range g.Rules {
+	for ri := range g.Rules {
+		r := &g.Rules[ri]
+		e.heads[ri] = int32(r.Head)
+		e.missingInit[ri] = int32(len(r.Pos))
 		for _, a := range r.Pos {
-			e.posOcc[a] = append(e.posOcc[a], ri)
+			e.posOccStart[a+1]++
 		}
-		for _, a := range r.Neg {
-			e.negOcc[a] = append(e.negOcc[a], ri)
+		if len(r.Pos) == 0 {
+			e.zeroPos = append(e.zeroPos, int32(ri))
+		}
+		if len(r.Neg) > 0 {
+			e.negRules = append(e.negRules, int32(ri))
 			e.hasNeg = true
+		}
+	}
+	for a := 0; a < n; a++ {
+		e.posOccStart[a+1] += e.posOccStart[a]
+	}
+	e.posOccFlat = make([]int32, e.posOccStart[n])
+	fill := make([]int32, n)
+	copy(fill, e.posOccStart[:n])
+	for ri := range g.Rules {
+		for _, a := range g.Rules[ri].Pos {
+			e.posOccFlat[fill[a]] = int32(ri)
+			fill[a]++
 		}
 	}
 	return e
@@ -39,69 +81,117 @@ func NewEngine(g *ground.Program) *Engine {
 // Ground returns the engine's ground program.
 func (e *Engine) Ground() *ground.Program { return e.g }
 
-// lfp computes the least fixpoint of the positive parts of the enabled rules:
-// an atom is derived when some enabled rule has all positive body atoms
-// derived (negative literals are ignored; callers encode them in enabled).
-// seed atoms are derived unconditionally. The returned slice is indexed by
-// atom id.
-func (e *Engine) lfp(enabled func(ruleIdx int) bool, seed []bool) []bool {
-	derived := make([]bool, e.g.NumAtoms())
-	missing := make([]int, len(e.g.Rules))
-	var queue []int
-	deriveAtom := func(a int) {
-		if derived[a] {
-			return
-		}
-		derived[a] = true
-		queue = append(queue, a)
+// scratch holds the reusable buffers of one evaluation thread. The zero
+// value is ready to use: buffers are allocated on first use and recycled
+// through a small free list afterwards, so a warm scratch makes the fixpoint
+// kernels allocation-free.
+type scratch struct {
+	missing []int32  // per-rule count of positive body atoms not yet derived
+	queue   []int32  // lfp work queue
+	pool    []Bitset // recycled truth vectors (all e.words long)
+}
+
+// grab returns a truth vector with the given word count, recycling from the
+// pool when possible. The contents are unspecified; callers clear or
+// overwrite as needed.
+func (s *scratch) grab(words int) Bitset {
+	if n := len(s.pool); n > 0 && len(s.pool[n-1]) == words {
+		b := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return b
 	}
-	for ri, r := range e.g.Rules {
-		if !enabled(ri) {
-			missing[ri] = -1
-			continue
-		}
-		missing[ri] = len(r.Pos)
-		if missing[ri] == 0 {
-			deriveAtom(r.Head)
-		}
+	return make(Bitset, words)
+}
+
+// release returns a truth vector to the pool.
+func (s *scratch) release(b Bitset) { s.pool = append(s.pool, b) }
+
+// lfp computes the least fixpoint of the positive parts of the enabled rules
+// into out: an atom is derived when some enabled rule has all positive body
+// atoms derived; seed atoms are derived unconditionally. A rule is enabled
+// iff none of its negative atoms is set in block (when block != nil), every
+// negative atom is set in allow (when allow != nil), and extra(ri) holds
+// (when extra != nil). out must be distinct from block, allow and seed.
+func (e *Engine) lfp(s *scratch, block, allow Bitset, extra func(int) bool, seed, out Bitset) {
+	out.ClearAll()
+	rules := e.g.Rules
+	if cap(s.missing) < len(rules) {
+		s.missing = make([]int32, len(rules))
 	}
-	if seed != nil {
-		for a, ok := range seed {
-			if ok {
-				deriveAtom(a)
+	missing := s.missing[:len(rules)]
+	copy(missing, e.missingInit)
+	if extra != nil {
+		for ri := range rules {
+			if !extra(ri) {
+				missing[ri] = -1
 			}
 		}
 	}
+	if block != nil || allow != nil {
+		// Only rules with negative atoms can be disabled by block/allow;
+		// everything else keeps its memcpy'd positive-body count.
+		for _, ri := range e.negRules {
+			if missing[ri] < 0 {
+				continue
+			}
+			for _, a := range rules[ri].Neg {
+				if (block != nil && block.Get(a)) || (allow != nil && !allow.Get(a)) {
+					missing[ri] = -1
+					break
+				}
+			}
+		}
+	}
+	queue := s.queue[:0]
+	for _, ri := range e.zeroPos {
+		if missing[ri] == 0 {
+			h := e.heads[ri]
+			if !out.Get(int(h)) {
+				out.Set(int(h))
+				queue = append(queue, h)
+			}
+		}
+	}
+	if seed != nil {
+		for wi, w := range seed {
+			for w != 0 {
+				a := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if !out.Get(a) {
+					out.Set(a)
+					queue = append(queue, int32(a))
+				}
+			}
+		}
+	}
+	start, flat, heads := e.posOccStart, e.posOccFlat, e.heads
 	for len(queue) > 0 {
 		a := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for _, ri := range e.posOcc[a] {
+		for _, ri := range flat[start[a]:start[a+1]] {
 			if missing[ri] <= 0 {
 				continue
 			}
 			missing[ri]--
 			if missing[ri] == 0 {
-				deriveAtom(e.g.Rules[ri].Head)
+				h := heads[ri]
+				if !out.Get(int(h)) {
+					out.Set(int(h))
+					queue = append(queue, h)
+				}
 			}
 		}
 	}
-	return derived
+	s.queue = queue[:0] // keep the grown capacity for the next pass
 }
 
-// gamma computes Γ(J): the least fixpoint of the program where a negative
-// literal ¬a holds iff a ∉ J. Γ is the antimonotone operator whose
+// gamma computes Γ(J) into out: the least fixpoint of the program where a
+// negative literal ¬a holds iff a ∉ J. Γ is the antimonotone operator whose
 // alternating iteration yields the well-founded model, and which the paper's
 // Section 2.2 uses to describe the valid-model computation ("only facts not
 // in T are allowed to be used negatively").
-func (e *Engine) gamma(j []bool) []bool {
-	return e.lfp(func(ri int) bool {
-		for _, a := range e.g.Rules[ri].Neg {
-			if j[a] {
-				return false
-			}
-		}
-		return true
-	}, nil)
+func (e *Engine) gamma(s *scratch, j, out Bitset) {
+	e.lfp(s, j, nil, nil, nil, out)
 }
 
 // ErrNotPositive is returned by Minimal and MinimalNaive for programs with
@@ -114,8 +204,12 @@ func (e *Engine) Minimal() (*Interp, error) {
 	if e.hasNeg {
 		return nil, ErrNotPositive
 	}
-	derived := e.lfp(func(int) bool { return true }, nil)
-	return e.twoValued(derived), nil
+	s := &e.scr
+	derived := s.grab(e.words)
+	e.lfp(s, nil, nil, nil, nil, derived)
+	in := e.twoValued(derived)
+	s.release(derived)
+	return in, nil
 }
 
 // MinimalNaive computes the minimal model of a positive ground program by
@@ -125,19 +219,21 @@ func (e *Engine) MinimalNaive() (*Interp, error) {
 	if e.hasNeg {
 		return nil, ErrNotPositive
 	}
-	derived := make([]bool, e.g.NumAtoms())
+	s := &e.scr
+	derived := s.grab(e.words)
+	derived.ClearAll()
 	for {
 		changed := false
 		for _, r := range e.g.Rules {
 			ok := true
 			for _, a := range r.Pos {
-				if !derived[a] {
+				if !derived.Get(a) {
 					ok = false
 					break
 				}
 			}
-			if ok && !derived[r.Head] {
-				derived[r.Head] = true
+			if ok && !derived.Get(r.Head) {
+				derived.Set(r.Head)
 				changed = true
 			}
 		}
@@ -145,16 +241,14 @@ func (e *Engine) MinimalNaive() (*Interp, error) {
 			break
 		}
 	}
-	return e.twoValued(derived), nil
+	in := e.twoValued(derived)
+	s.release(derived)
+	return in, nil
 }
 
-func (e *Engine) twoValued(derived []bool) *Interp {
+func (e *Engine) twoValued(derived Bitset) *Interp {
 	in := NewInterp(e.g, False)
-	for a, ok := range derived {
-		if ok {
-			in.Set(a, True)
-		}
-	}
+	derived.ForEach(func(a int) { in.Set(a, True) })
 	return in
 }
 
@@ -165,78 +259,97 @@ func (e *Engine) twoValued(derived []bool) *Interp {
 // accumulating heads. It returns the model and the number of steps to
 // convergence after step 0 (used by the Proposition 5.2 step-index bound,
 // whose construction likewise places facts at index 0).
+//
+// Rules are kept on a worklist rather than rescanned every step: because the
+// derived set only grows, a rule whose head is already derived can never add
+// anything, and a rule with a derived negative atom can never fire again —
+// both drop out permanently as soon as they are observed.
 func (e *Engine) Inflationary() (*Interp, int) {
-	cur := make([]bool, e.g.NumAtoms())
+	cur := e.scr.grab(e.words)
+	cur.ClearAll()
 	for _, r := range e.g.Rules {
 		if len(r.Pos) == 0 && len(r.Neg) == 0 {
-			cur[r.Head] = true
+			cur.Set(r.Head)
 		}
 	}
+	work := make([]int, 0, len(e.g.Rules))
+	for ri := range e.g.Rules {
+		work = append(work, ri)
+	}
+	var added []int
 	steps := 0
 	for {
-		var added []int
-		for _, r := range e.g.Rules {
-			if cur[r.Head] {
-				continue
+		added = added[:0]
+		live := work[:0]
+		for _, ri := range work {
+			r := &e.g.Rules[ri]
+			if cur.Get(r.Head) {
+				continue // already derived: the rule can never add anything
 			}
-			ok := true
-			for _, a := range r.Pos {
-				if !cur[a] {
-					ok = false
+			blocked := false
+			for _, a := range r.Neg {
+				if cur.Get(a) {
+					blocked = true
 					break
 				}
 			}
-			if !ok {
-				continue
+			if blocked {
+				continue // cur only grows: the rule can never fire again
 			}
-			for _, a := range r.Neg {
-				if cur[a] {
+			ok := true
+			for _, a := range r.Pos {
+				if !cur.Get(a) {
 					ok = false
 					break
 				}
 			}
 			if ok {
 				added = append(added, r.Head)
+				continue // its head becomes derived: the rule is spent
 			}
+			live = append(live, ri) // still waiting on positive atoms
 		}
-		newAny := false
-		for _, a := range added {
-			if !cur[a] {
-				cur[a] = true
-				newAny = true
-			}
-		}
-		if !newAny {
+		work = live
+		if len(added) == 0 {
 			break
+		}
+		for _, a := range added {
+			cur.Set(a)
 		}
 		steps++
 	}
-	return e.twoValued(cur), steps
+	in := e.twoValued(cur)
+	e.scr.release(cur)
+	return in, steps
 }
 
 // WellFounded computes the well-founded model by the alternating fixpoint:
 // T_{k+1} = Γ(Γ(T_k)) ascending from ∅, with U = Γ(T) the final upper bound.
 // True atoms are T, false atoms are those outside U, the rest are undefined.
-func (e *Engine) WellFounded() *Interp {
-	t := make([]bool, e.g.NumAtoms())
-	var u []bool
+func (e *Engine) WellFounded() *Interp { return e.wellFounded(&e.scr) }
+
+func (e *Engine) wellFounded(s *scratch) *Interp {
+	t := s.grab(e.words)
+	u := s.grab(e.words)
+	t2 := s.grab(e.words)
+	t.ClearAll()
 	for {
-		u = e.gamma(t)
-		t2 := e.gamma(u)
-		if sameSet(t, t2) {
+		e.gamma(s, t, u)
+		e.gamma(s, u, t2)
+		if t.Equal(t2) {
 			break
 		}
-		t = t2
+		t.CopyFrom(t2)
 	}
 	in := NewInterp(e.g, Undef)
-	for a := range t {
-		switch {
-		case t[a]:
-			in.Set(a, True)
-		case !u[a]:
-			in.Set(a, False)
-		}
-	}
+	t.ForEach(func(a int) { in.Set(a, True) })
+	t2.ClearAll()
+	t2.OrNot(u) // atoms outside the upper bound are certainly false
+	t2.Trim(e.g.NumAtoms())
+	t2.ForEach(func(a int) { in.Set(a, False) })
+	s.release(t2)
+	s.release(u)
+	s.release(t)
 	return in
 }
 
@@ -247,41 +360,34 @@ func (e *Engine) WellFounded() *Interp {
 // certainly false; (ii) derive new true facts using negatively only the
 // certainly-false facts; until no more true facts appear.
 func (e *Engine) Valid() *Interp {
-	n := e.g.NumAtoms()
-	t := make([]bool, n) // certainly true
-	f := make([]bool, n) // certainly false
+	s := &e.scr
+	t := s.grab(e.words)
+	f := s.grab(e.words)
+	poss := s.grab(e.words)
+	t2 := s.grab(e.words)
+	t.ClearAll()
+	f.ClearAll()
 	for {
 		// (i) possible facts: derivations may use ¬a only when a ∉ T.
-		poss := e.gamma(t)
-		for a := 0; a < n; a++ {
-			if !poss[a] {
-				f[a] = true
-			}
-		}
+		e.gamma(s, t, poss)
+		f.OrNot(poss)
+		f.Trim(e.g.NumAtoms())
 		// (ii) new true facts: derivations start from T and may use ¬a only
 		// when a is certainly false.
-		t2 := e.lfp(func(ri int) bool {
-			for _, a := range e.g.Rules[ri].Neg {
-				if !f[a] {
-					return false
-				}
-			}
-			return true
-		}, t)
-		if sameSet(t, t2) {
+		e.lfp(s, nil, f, nil, t, t2)
+		if t.Equal(t2) {
 			break
 		}
-		t = t2
+		t.CopyFrom(t2)
 	}
 	in := NewInterp(e.g, Undef)
-	for a := 0; a < n; a++ {
-		switch {
-		case t[a]:
-			in.Set(a, True)
-		case f[a]:
-			in.Set(a, False)
-		}
-	}
+	t.ForEach(func(a int) { in.Set(a, True) })
+	f.AndNot(t) // true wins where the iteration marked both
+	f.ForEach(func(a int) { in.Set(a, False) })
+	s.release(t2)
+	s.release(poss)
+	s.release(f)
+	s.release(t)
 	return in
 }
 
@@ -313,83 +419,123 @@ func (e *Engine) Stratified(stratumOf map[string]int) (*Interp, error) {
 			}
 		}
 	}
-	derived := make([]bool, e.g.NumAtoms())
-	for s := 0; s <= max; s++ {
-		stratum := s
-		derived = e.lfp(func(ri int) bool {
-			if headStratum[ri] > stratum {
-				return false
-			}
-			for _, a := range e.g.Rules[ri].Neg {
-				if derived[a] {
-					return false
-				}
-			}
-			return true
-		}, derived)
+	s := &e.scr
+	derived := s.grab(e.words)
+	next := s.grab(e.words)
+	derived.ClearAll()
+	for st := 0; st <= max; st++ {
+		st := st
+		e.lfp(s, derived, nil, func(ri int) bool { return headStratum[ri] <= st }, derived, next)
+		derived, next = next, derived
 	}
-	return e.twoValued(derived), nil
+	in := e.twoValued(derived)
+	s.release(next)
+	s.release(derived)
+	return in, nil
 }
 
 // ErrTooManyUndef is returned by StableModels when the residual left by the
 // well-founded model is larger than the caller's bound.
 var ErrTooManyUndef = errors.New("semantics: too many undefined atoms for stable-model search")
 
-// StableModels enumerates all stable models (Gelfond–Lifschitz) of the ground
-// program. It first computes the well-founded model — which every stable
-// model extends — then searches assignments of the undefined atoms,
-// returning one two-valued Interp per stable model, in a deterministic
-// order. If more than maxUndef atoms are undefined it returns
-// ErrTooManyUndef rather than attempting an exponential search.
+// stableParallelThreshold is the candidate-space size below which
+// StableModels stays serial: goroutine fan-out costs more than the search.
+const stableParallelThreshold = 256
+
+// StableModels enumerates all stable models (Gelfond–Lifschitz) of the
+// ground program. It first computes the well-founded model — which every
+// stable model extends — then searches assignments of the undefined atoms,
+// returning one two-valued Interp per stable model, in a deterministic order
+// (ascending candidate mask). If more than maxUndef atoms are undefined it
+// returns ErrTooManyUndef rather than attempting an exponential search.
+//
+// The search space is partitioned across a GOMAXPROCS-sized worker pool;
+// results are merged back in mask order, so the model list is byte-identical
+// to a serial run.
 func (e *Engine) StableModels(maxUndef int) ([]*Interp, error) {
+	return e.StableModelsParallel(maxUndef, 0)
+}
+
+// StableModelsParallel is StableModels with an explicit worker count;
+// workers <= 0 means runtime.GOMAXPROCS(0). The result is independent of the
+// worker count.
+func (e *Engine) StableModelsParallel(maxUndef, workers int) ([]*Interp, error) {
 	wf := e.WellFounded()
 	undef := wf.UndefAtoms()
 	if len(undef) > maxUndef {
 		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyUndef, len(undef), maxUndef)
 	}
-	base := make([]bool, e.g.NumAtoms())
+	if len(undef) > 62 {
+		return nil, fmt.Errorf("%w: %d undefined atoms overflow the candidate-mask space", ErrTooManyUndef, len(undef))
+	}
+	total := uint64(1) << uint(len(undef))
+	base := NewBitset(e.g.NumAtoms())
 	for a := 0; a < e.g.NumAtoms(); a++ {
 		if wf.Truth(a) == True {
-			base[a] = true
+			base.Set(a)
 		}
 	}
-	var models []*Interp
-	n := len(undef)
-	total := 1 << n
-	for mask := 0; mask < total; mask++ {
-		cand := make([]bool, len(base))
-		copy(cand, base)
-		for i, a := range undef {
-			if mask&(1<<i) != 0 {
-				cand[a] = true
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || total < stableParallelThreshold {
+		return e.stableRange(&e.scr, base, undef, 0, total), nil
+	}
+	// Partition the mask space into more chunks than workers so an uneven
+	// chunk cannot straggle, and hand chunks out through an atomic cursor.
+	// Chunk results are merged in chunk order, which is mask order.
+	chunks := uint64(workers) * 8
+	if chunks > total {
+		chunks = total
+	}
+	chunkSize := (total + chunks - 1) / chunks
+	results := make([][]*Interp, chunks)
+	var cursor atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s scratch // per-worker scratch: the engine's buffers stay serial-only
+			for {
+				c := cursor.Add(1) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * chunkSize
+				hi := min(lo+chunkSize, total)
+				results[c] = e.stableRange(&s, base, undef, lo, hi)
 			}
-		}
-		if e.isStable(cand) {
-			models = append(models, e.twoValued(cand))
-		}
+		}()
+	}
+	wg.Wait()
+	var models []*Interp
+	for _, ms := range results {
+		models = append(models, ms...)
 	}
 	return models, nil
 }
 
-// isStable checks the Gelfond–Lifschitz condition: the least model of the
-// reduct P^M equals M.
-func (e *Engine) isStable(m []bool) bool {
-	red := e.lfp(func(ri int) bool {
-		for _, a := range e.g.Rules[ri].Neg {
-			if m[a] {
-				return false
+// stableRange checks the Gelfond–Lifschitz condition for every candidate
+// mask in [lo, hi): the least model of the reduct P^M must equal M. Bit i of
+// the mask decides undef[i]. Safe for concurrent use with distinct scratch.
+func (e *Engine) stableRange(s *scratch, base Bitset, undef []int, lo, hi uint64) []*Interp {
+	cand := s.grab(e.words)
+	red := s.grab(e.words)
+	var models []*Interp
+	for mask := lo; mask < hi; mask++ {
+		cand.CopyFrom(base)
+		for i, a := range undef {
+			if mask&(1<<uint(i)) != 0 {
+				cand.Set(a)
 			}
 		}
-		return true
-	}, nil)
-	return sameSet(red, m)
-}
-
-func sameSet(a, b []bool) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+		e.lfp(s, cand, nil, nil, nil, red)
+		if red.Equal(cand) {
+			models = append(models, e.twoValued(cand))
 		}
 	}
-	return true
+	s.release(red)
+	s.release(cand)
+	return models
 }

@@ -152,10 +152,10 @@ func SameTruths(a, b *Interp) bool {
 func SamePred(a, b *Interp, pred string) bool {
 	keys := map[string]bool{}
 	for _, id := range a.G.AtomsOf(pred) {
-		keys[a.G.Atom(id).Key()] = true
+		keys[a.G.AtomKey(id)] = true
 	}
 	for _, id := range b.G.AtomsOf(pred) {
-		keys[b.G.Atom(id).Key()] = true
+		keys[b.G.AtomKey(id)] = true
 	}
 	sorted := make([]string, 0, len(keys))
 	for k := range keys {
@@ -183,7 +183,7 @@ func SamePred(a, b *Interp, pred string) bool {
 func factTruths(in *Interp, pred string) map[string]Truth {
 	out := map[string]Truth{}
 	for _, id := range in.G.AtomsOf(pred) {
-		out[in.G.Atom(id).Key()] = in.Truth(id)
+		out[in.G.AtomKey(id)] = in.Truth(id)
 	}
 	return out
 }
