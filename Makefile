@@ -1,5 +1,5 @@
 # Tier-1 verification: everything CI gates on.
-.PHONY: all check race bench test vet build clean
+.PHONY: all check race bench test vet lint docs-fresh build clean
 
 all: check
 
@@ -15,10 +15,24 @@ vet:
 test:
 	go test ./...
 
+# lint gates documentation: every package needs a package doc comment, and
+# the theorem-bearing packages (semantics, translate) must document every
+# exported declaration. doccheck is stdlib-only (tools/doccheck).
+lint: vet
+	go run ./tools/doccheck -strict internal/semantics,internal/translate .
+
+# docs-fresh regenerates EXPERIMENTS.md's tables from the committed record
+# (internal/expt/recorded/run.json) and fails if the committed document was
+# stale — the CI freshness gate.
+docs-fresh:
+	go generate ./internal/expt
+	git diff --exit-code EXPERIMENTS.md
+
 # race exercises the packages with internal parallelism (the StableModels
-# worker pool and the sharded experiment runner) under the race detector.
+# worker pool, the sharded experiment runner, and the observability
+# collectors shared across both) under the race detector.
 race:
-	go test -race ./internal/semantics ./internal/expt
+	go test -race ./internal/semantics ./internal/expt ./internal/obsv
 
 # bench runs the full benchmark suite once per target (see also cmd/bench).
 bench:

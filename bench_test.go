@@ -12,6 +12,7 @@ import (
 	"algrec/internal/core"
 	"algrec/internal/datalog/ground"
 	"algrec/internal/expt"
+	"algrec/internal/obsv"
 	"algrec/internal/rewrite"
 	"algrec/internal/semantics"
 	"algrec/internal/spec"
@@ -252,4 +253,70 @@ query win;
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchP4Workloads builds the P4 workload pair — the semi-naive minimal
+// model of a transitive-closure chain and the alternating-fixpoint
+// well-founded model of a win chain — warmed so the engines' scratch
+// buffers are allocated, and runs them under b.Run sub-benchmarks. It is
+// shared by the collector-overhead benchmarks: the disabled-collector run
+// must stay within noise of the bare kernel (the observability layer's
+// zero-overhead contract), which the enabled-collector run quantifies
+// against.
+func benchP4Workloads(b *testing.B, prep func(e *semantics.Engine)) {
+	b.Helper()
+	budget := ground.Budget{MaxAtoms: 8_000_000, MaxRules: 16_000_000}
+	gTC, err := ground.Ground(expt.TCProgram(expt.ChainEdges("e", 1024)), budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gWin, err := ground.Ground(expt.WinProgram(expt.ChainEdges("move", 1024)), budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("tcChainMinimal", func(b *testing.B) {
+		e := semantics.NewEngine(gTC)
+		if prep != nil {
+			prep(e)
+		}
+		if _, err := e.Minimal(); err != nil { // warm scratch
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Minimal(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("winChainWFS", func(b *testing.B) {
+		e := semantics.NewEngine(gWin)
+		if prep != nil {
+			prep(e)
+		}
+		e.WellFounded() // warm scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.WellFounded()
+		}
+	})
+}
+
+// BenchmarkP4CollectorOff is the P4 workload with the observability layer
+// disabled (no collector attached) — the default state every other
+// benchmark and production path runs in. Its numbers must match the
+// pre-instrumentation kernel within noise (~2%).
+func BenchmarkP4CollectorOff(b *testing.B) {
+	benchP4Workloads(b, nil)
+}
+
+// BenchmarkP4CollectorOn is the same workload with a counter-folding Stats
+// collector attached, quantifying the cost of enabled observability: one
+// event build and map fold per fixpoint call, nothing per pass or per atom.
+func BenchmarkP4CollectorOn(b *testing.B) {
+	benchP4Workloads(b, func(e *semantics.Engine) {
+		e.SetCollector(obsv.NewStats())
+	})
 }

@@ -25,6 +25,11 @@ import (
 )
 
 func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "Usage: speccheck [file]")
+		fmt.Fprintln(os.Stderr, "Decides whether the constant-only specification read from the file")
+		fmt.Fprintln(os.Stderr, "argument or standard input has an initial valid model (Prop 2.3(2)).")
+	}
 	flag.Parse()
 	src, err := readInput(flag.Arg(0))
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"algrec/internal/datalog"
+	"algrec/internal/obsv"
 	"algrec/internal/value"
 )
 
@@ -548,6 +549,7 @@ func Ground(p *datalog.Program, budget Budget) (*Program, error) {
 
 	// Delta-driven passes: a rule instance is enumerated when at least one of
 	// its positive atoms matches an atom derived in the previous pass.
+	var passes, deltaHits, deltaSkips int
 	prevLen := map[string]int{}
 	for {
 		curLen := map[string]int{}
@@ -564,6 +566,7 @@ func Ground(p *datalog.Program, budget Budget) (*Program, error) {
 		if !anyDelta {
 			break
 		}
+		passes++
 		for _, or := range ordered {
 			if or.plan.NumPos == 0 {
 				continue
@@ -574,14 +577,25 @@ func Ground(p *datalog.Program, budget Budget) (*Program, error) {
 				// enumerating the other literals anyway is what turned the
 				// linear-rule passes quadratic.
 				if pred := or.posPreds[d]; curLen[pred] == prevLen[pred] {
+					deltaSkips++
 					continue
 				}
+				deltaHits++
 				if err := g.enumerate(or, 0, bind, &posIDs, &ranges{prev: prevLen, cur: curLen}, d); err != nil {
 					return nil, err
 				}
 			}
 		}
 		prevLen = curLen
+	}
+	if c := obsv.Default(); c != nil {
+		c.Ground(obsv.GroundStats{
+			Atoms:      g.prog.NumAtoms(),
+			Rules:      len(g.prog.Rules),
+			Passes:     passes,
+			DeltaHits:  deltaHits,
+			DeltaSkips: deltaSkips,
+		})
 	}
 	return g.prog, nil
 }

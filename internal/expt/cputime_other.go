@@ -1,0 +1,7 @@
+//go:build !unix
+
+package expt
+
+// processCPU reports 0 on platforms without Getrusage; CPU columns render
+// as unattributed there.
+func processCPU() int64 { return 0 }

@@ -1,0 +1,11 @@
+package expt
+
+// EXPERIMENTS.md's tables are generated from the committed record of the
+// last full bench run, so `go generate ./...` is deterministic and CI can
+// diff the result against the committed document. To refresh the record
+// itself, re-run the experiments first:
+//
+//	go run algrec/cmd/bench -json internal/expt/recorded/run.json
+//	go generate ./internal/expt
+//
+//go:generate go run algrec/cmd/bench -render recorded/run.json -update ../../EXPERIMENTS.md

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"algrec/internal/obsv"
 )
 
 // Suite describes one experiment. Run produces the whole table serially;
@@ -98,28 +100,52 @@ func RunAll(scale int) ([]*Table, error) {
 type SuiteResult struct {
 	Table      *Table
 	Wall       time.Duration // serial: wall time; parallel: summed shard time
+	CPU        time.Duration // process CPU time attributed to the run (serial only)
 	AllocBytes uint64        // heap bytes allocated during the run (serial only)
 	Mallocs    uint64        // heap objects allocated during the run (serial only)
+	Shards     int           // tasks the suite split into (1 = whole-suite run)
 }
 
-// RunInstrumented runs one suite serially, recording wall time and the heap
-// allocation delta across the run.
+// RunInstrumented runs one suite serially, recording wall time, CPU time and
+// the heap allocation delta across the run, and reporting an Experiment
+// event to the process-default collector.
 func RunInstrumented(s Suite) (SuiteResult, error) {
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	cpu0 := processCPU()
 	start := time.Now()
 	tbl, err := s.Run()
 	wall := time.Since(start)
+	cpu := time.Duration(processCPU() - cpu0)
 	runtime.ReadMemStats(&m1)
 	if err != nil {
 		return SuiteResult{}, err
 	}
+	if c := obsv.Default(); c != nil {
+		c.Experiment(obsv.ExperimentStats{ID: s.ID, Shard: -1, WallNS: wall.Nanoseconds(), CPUNS: cpu.Nanoseconds()})
+	}
 	return SuiteResult{
 		Table:      tbl,
 		Wall:       wall,
+		CPU:        cpu,
 		AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
 		Mallocs:    m1.Mallocs - m0.Mallocs,
+		Shards:     1,
 	}, nil
+}
+
+// RunStats is the whole-run cost of one RunSuites call: overall wall time
+// and, for parallel runs, how well the worker pool was utilized.
+type RunStats struct {
+	Wall    time.Duration // overall wall-clock time of the run
+	CPU     time.Duration // process CPU time across the run
+	Workers int           // worker pool size (1 = serial)
+	Tasks   int           // tasks executed (suites + shards)
+	// Utilization is summed task time / (Workers × Wall) for parallel runs:
+	// 1.0 means every worker was busy the whole run, lower values measure
+	// shard imbalance and scheduling gaps. 0 for serial runs (meaningless
+	// there — the single worker is busy by construction).
+	Utilization float64
 }
 
 // RunSuites runs the given suites with the given worker count and returns
@@ -131,16 +157,33 @@ func RunInstrumented(s Suite) (SuiteResult, error) {
 // timings then measure summed shard cost, not wall time, and allocation
 // deltas are not attributed.
 func RunSuites(suites []Suite, workers int) ([]SuiteResult, error) {
+	out, _, err := RunSuitesStats(suites, workers)
+	return out, err
+}
+
+// RunSuitesStats is RunSuites with whole-run cost reporting: overall wall
+// and CPU time, and — for parallel runs — worker-pool utilization.
+func RunSuitesStats(suites []Suite, workers int) ([]SuiteResult, RunStats, error) {
+	overallStart := time.Now()
+	cpu0 := processCPU()
+	stats := RunStats{Workers: workers}
+	finish := func() RunStats {
+		stats.Wall = time.Since(overallStart)
+		stats.CPU = time.Duration(processCPU() - cpu0)
+		return stats
+	}
 	if workers <= 1 {
+		stats.Workers = 1
 		out := make([]SuiteResult, 0, len(suites))
 		for _, s := range suites {
 			res, err := RunInstrumented(s)
 			if err != nil {
-				return nil, fmt.Errorf("expt: %s: %w", s.ID, err)
+				return nil, finish(), fmt.Errorf("expt: %s: %w", s.ID, err)
 			}
 			out = append(out, res)
+			stats.Tasks++
 		}
-		return out, nil
+		return out, finish(), nil
 	}
 	type task struct {
 		suite, shard int
@@ -164,6 +207,7 @@ func RunSuites(suites []Suite, workers int) ([]SuiteResult, error) {
 		shardWalls[si] = make([]time.Duration, nShards)
 		shardErrs[si] = make([]error, nShards)
 	}
+	obs := obsv.Default()
 	ch := make(chan task)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -177,6 +221,13 @@ func RunSuites(suites []Suite, workers int) ([]SuiteResult, error) {
 				shardWalls[tk.suite][tk.shard] = time.Since(start)
 				shardErrs[tk.suite][tk.shard] = err
 				shardTables[tk.suite][tk.shard] = tbl
+				if obs != nil {
+					obs.Experiment(obsv.ExperimentStats{
+						ID:     suites[tk.suite].ID,
+						Shard:  tk.shard,
+						WallNS: shardWalls[tk.suite][tk.shard].Nanoseconds(),
+					})
+				}
 			}
 		}()
 	}
@@ -185,20 +236,27 @@ func RunSuites(suites []Suite, workers int) ([]SuiteResult, error) {
 	}
 	close(ch)
 	wg.Wait()
+	stats.Tasks = len(tasks)
 	out := make([]SuiteResult, 0, len(suites))
+	var busy time.Duration
 	for si, s := range suites {
 		for _, err := range shardErrs[si] {
 			if err != nil {
-				return nil, fmt.Errorf("expt: %s: %w", s.ID, err)
+				return nil, finish(), fmt.Errorf("expt: %s: %w", s.ID, err)
 			}
 		}
-		res := SuiteResult{Table: mergeTables(shardTables[si])}
+		res := SuiteResult{Table: mergeTables(shardTables[si]), Shards: len(shardWalls[si])}
 		for _, d := range shardWalls[si] {
 			res.Wall += d
 		}
+		busy += res.Wall
 		out = append(out, res)
 	}
-	return out, nil
+	st := finish()
+	if st.Wall > 0 {
+		st.Utilization = float64(busy) / (float64(workers) * float64(st.Wall))
+	}
+	return out, st, nil
 }
 
 // mergeTables concatenates shard tables of one experiment: rows append in

@@ -1,0 +1,215 @@
+// Package obsv is the observability layer of the repository: a small event
+// vocabulary describing what the engines did — fixpoint passes, delta sizes,
+// scratch-buffer reuse, grounding passes and delta-window hits, translation
+// sizes, experiment run cost — plus collectors that aggregate or stream
+// those events.
+//
+// Instrumented code holds a Collector and reports events at *call*
+// granularity (one event per fixpoint computation, one per grounding, one
+// per translation), never from inside a hot loop; a nil Collector means
+// disabled, and every instrumentation site is guarded by a nil check, so the
+// kernels pay nothing when observability is off. That contract is
+// benchmark-verified: BenchmarkP4CollectorOff (repository root) must stay
+// within noise of the pre-instrumentation kernel.
+//
+// Collectors:
+//
+//   - *Stats folds events into named counters (thread-safe; Snapshot /
+//     Snapshot.Sub give per-phase deltas). cmd/bench attributes counters to
+//     experiments with it and embeds them in the machine-readable record
+//     that EXPERIMENTS.md's tables are generated from.
+//   - *JSONL streams every event as one JSON object per line (cmd/bench
+//     -trace).
+//   - Multi fans one event out to several collectors.
+//
+// The process-wide default collector (SetDefault / Default) is how events
+// escape code that constructs its own engines internally: engine
+// constructors capture Default() at construction time, so installing a
+// collector before a run observes everything the run does, at zero cost to
+// runs that never install one.
+package obsv
+
+import "sync/atomic"
+
+// FixpointStats describes one completed fixpoint computation of a semantics
+// engine: one call to Minimal, MinimalNaive, Inflationary, WellFounded,
+// Valid or Stratified.
+type FixpointStats struct {
+	// Semantics names the entry point: "minimal", "minimal-naive",
+	// "inflationary", "wellfounded", "valid", "stratified".
+	Semantics string
+	// Passes counts the semantics' own iteration unit: alternating gamma
+	// iterations for wellfounded/valid, inflationary steps after step 0,
+	// strata for stratified, full-program rounds for minimal-naive, and 1
+	// for the single worklist pass of minimal.
+	Passes int
+	// Atoms is the size of the ground program's atom universe.
+	Atoms int
+	// Derived is the number of atoms true in the computed model (the
+	// popcount of the final truth vector; for three-valued semantics, the
+	// certainly-true set).
+	Derived int
+	// Deltas holds per-pass growth where the semantics computes it anyway
+	// (the inflationary engine's per-step head counts). Nil when the
+	// semantics has no per-pass delta.
+	Deltas []int
+	// ScratchReused and ScratchAllocated count truth-vector requests served
+	// from the engine's scratch pool vs freshly allocated during this call.
+	ScratchReused    int
+	ScratchAllocated int
+}
+
+// StableSearchStats describes one StableModels search.
+type StableSearchStats struct {
+	Undef      int    // residual size after the well-founded model
+	Candidates uint64 // candidate masks checked (2^Undef)
+	Models     int    // stable models found
+	Workers    int    // worker goroutines used (1 = serial path)
+	Chunks     int    // mask-space chunks handed out (1 = serial path)
+	// ScratchReused and ScratchAllocated aggregate over all workers.
+	ScratchReused    int
+	ScratchAllocated int
+}
+
+// GroundStats describes one grounding (ground.Ground call).
+type GroundStats struct {
+	Atoms      int // ground atoms interned
+	Rules      int // ground rules emitted
+	Passes     int // delta-driven passes after pass 0
+	DeltaHits  int // (rule, delta-literal) enumerations attempted
+	DeltaSkips int // (rule, delta-literal) enumerations skipped: empty delta window
+}
+
+// TranslateStats describes one translation between the paradigms.
+type TranslateStats struct {
+	// Op names the translation: "alg2dlog" (Prop 5.1), "core2dlog"
+	// (Prop 5.4), "dlog2core" (Prop 6.1), "stepindex" (Prop 5.2),
+	// "strat2ifp" (Thm 4.3), "elimifp" (Thm 3.5).
+	Op string
+	// InSize and OutSize measure the syntactic object on each side of the
+	// translation: rule counts for deductive programs, definition counts
+	// for algebra= programs, and — for the expression input of "alg2dlog" —
+	// the number of subexpressions translated (one fresh predicate each).
+	InSize  int
+	OutSize int
+	// Steps is the step-index bound for "stepindex" and "elimifp"; 0
+	// elsewhere.
+	Steps int
+}
+
+// ExperimentStats describes one experiment (or one shard of one) run by the
+// internal/expt harness.
+type ExperimentStats struct {
+	ID     string // experiment id (E1..E11, P1..P5, A1..A3)
+	Shard  int    // shard index, -1 for a whole-suite run
+	WallNS int64  // wall-clock nanoseconds
+	CPUNS  int64  // process CPU nanoseconds (0 when unattributable)
+}
+
+// Collector receives observability events. Implementations must be safe for
+// concurrent use: the parallel experiment runner and the stable-model worker
+// pool report from multiple goroutines.
+//
+// A nil Collector means observability is disabled; instrumented code checks
+// for nil before building an event, so disabled instrumentation costs one
+// predictable branch per engine call.
+type Collector interface {
+	Fixpoint(FixpointStats)
+	StableSearch(StableSearchStats)
+	Ground(GroundStats)
+	Translate(TranslateStats)
+	Experiment(ExperimentStats)
+}
+
+// Nop is a Collector that discards every event. Embed it to implement only
+// the events a custom collector cares about. The disabled state is a nil
+// Collector, not a Nop: nil lets instrumentation skip event construction
+// entirely.
+type Nop struct{}
+
+// Fixpoint implements Collector.
+func (Nop) Fixpoint(FixpointStats) {}
+
+// StableSearch implements Collector.
+func (Nop) StableSearch(StableSearchStats) {}
+
+// Ground implements Collector.
+func (Nop) Ground(GroundStats) {}
+
+// Translate implements Collector.
+func (Nop) Translate(TranslateStats) {}
+
+// Experiment implements Collector.
+func (Nop) Experiment(ExperimentStats) {}
+
+// multi fans events out to several collectors in order.
+type multi []Collector
+
+// Multi returns a Collector that forwards every event to each non-nil
+// collector in cs, in order. With zero or one non-nil collectors it returns
+// nil or that collector directly.
+func Multi(cs ...Collector) Collector {
+	var live multi
+	for _, c := range cs {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+func (m multi) Fixpoint(s FixpointStats) {
+	for _, c := range m {
+		c.Fixpoint(s)
+	}
+}
+
+func (m multi) StableSearch(s StableSearchStats) {
+	for _, c := range m {
+		c.StableSearch(s)
+	}
+}
+
+func (m multi) Ground(s GroundStats) {
+	for _, c := range m {
+		c.Ground(s)
+	}
+}
+
+func (m multi) Translate(s TranslateStats) {
+	for _, c := range m {
+		c.Translate(s)
+	}
+}
+
+func (m multi) Experiment(s ExperimentStats) {
+	for _, c := range m {
+		c.Experiment(s)
+	}
+}
+
+// holder wraps a Collector so a nil value can round-trip through
+// atomic.Value (which rejects nil and requires a consistent concrete type).
+type holder struct{ c Collector }
+
+var def atomic.Value // holder
+
+// SetDefault installs the process-wide default collector; nil disables it.
+// Engine constructors and package-level entry points capture Default() when
+// they start, so SetDefault takes effect for engines built afterwards.
+func SetDefault(c Collector) { def.Store(holder{c}) }
+
+// Default returns the process-wide default collector, or nil when none is
+// installed — the zero-overhead disabled state.
+func Default() Collector {
+	if h, ok := def.Load().(holder); ok {
+		return h.c
+	}
+	return nil
+}

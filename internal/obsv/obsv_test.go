@@ -1,0 +1,132 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStatsFoldsAndSnapshots(t *testing.T) {
+	s := NewStats()
+	s.Fixpoint(FixpointStats{Semantics: "minimal", Passes: 1, Derived: 5, ScratchAllocated: 1})
+	s.Fixpoint(FixpointStats{Semantics: "minimal", Passes: 1, Derived: 3, ScratchReused: 1})
+	s.Fixpoint(FixpointStats{Semantics: "inflationary", Passes: 4, Deltas: []int{2, 1, 1, 0}})
+	s.Ground(GroundStats{Atoms: 10, Rules: 20, Passes: 3, DeltaHits: 7, DeltaSkips: 2})
+	s.Translate(TranslateStats{Op: "stepindex", InSize: 4, OutSize: 12, Steps: 3})
+	s.StableSearch(StableSearchStats{Undef: 4, Candidates: 16, Models: 4, Workers: 1, Chunks: 1})
+
+	snap := s.Snapshot()
+	want := map[string]int64{
+		"fixpoint.minimal.calls":           2,
+		"fixpoint.minimal.passes":          2,
+		"fixpoint.minimal.derived":         8,
+		"fixpoint.inflationary.calls":      1,
+		"fixpoint.inflationary.passes":     4,
+		"fixpoint.inflationary.deltaAtoms": 4,
+		"scratch.reused":                   1,
+		"scratch.allocated":                1,
+		"ground.calls":                     1,
+		"ground.atoms":                     10,
+		"ground.rules":                     20,
+		"ground.passes":                    3,
+		"ground.deltaHits":                 7,
+		"ground.deltaSkips":                2,
+		"translate.stepindex.calls":        1,
+		"translate.stepindex.inSize":       4,
+		"translate.stepindex.outSize":      12,
+		"stable.searches":                  1,
+		"stable.candidates":                16,
+		"stable.models":                    4,
+		"stable.chunks":                    1,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("counter %s = %d, want %d", k, snap[k], v)
+		}
+	}
+
+	before := snap
+	s.Fixpoint(FixpointStats{Semantics: "minimal", Passes: 1, Derived: 2})
+	d := s.Snapshot().Sub(before)
+	if d["fixpoint.minimal.calls"] != 1 || d["fixpoint.minimal.derived"] != 2 {
+		t.Errorf("snapshot delta wrong: %v", d)
+	}
+	if _, ok := d["ground.calls"]; ok {
+		t.Errorf("unchanged counter survived Sub: %v", d)
+	}
+}
+
+func TestStatsConcurrent(t *testing.T) {
+	s := NewStats()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Fixpoint(FixpointStats{Semantics: "minimal", Passes: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Snapshot()["fixpoint.minimal.calls"]; got != 800 {
+		t.Fatalf("lost updates: calls = %d, want 800", got)
+	}
+}
+
+func TestJSONLEmitsOneObjectPerEvent(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Fixpoint(FixpointStats{Semantics: "valid", Passes: 2, Derived: 7})
+	j.Ground(GroundStats{Atoms: 3, Rules: 4})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var ev struct {
+		Kind string          `json:"event"`
+		Data json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "fixpoint" {
+		t.Fatalf("first event kind = %q, want fixpoint", ev.Kind)
+	}
+	var fp FixpointStats
+	if err := json.Unmarshal(ev.Data, &fp); err != nil {
+		t.Fatal(err)
+	}
+	if fp.Semantics != "valid" || fp.Passes != 2 || fp.Derived != 7 {
+		t.Fatalf("fixpoint payload round-trip lost data: %+v", fp)
+	}
+}
+
+func TestMultiAndDefault(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of nothing should be nil")
+	}
+	a, b := NewStats(), NewStats()
+	if got := Multi(nil, a); got != Collector(a) {
+		t.Fatal("Multi of one collector should return it directly")
+	}
+	m := Multi(a, b)
+	m.Fixpoint(FixpointStats{Semantics: "minimal"})
+	if a.Snapshot()["fixpoint.minimal.calls"] != 1 || b.Snapshot()["fixpoint.minimal.calls"] != 1 {
+		t.Fatal("Multi did not fan out")
+	}
+
+	if Default() != nil {
+		t.Fatal("default collector should start nil")
+	}
+	SetDefault(a)
+	if Default() != Collector(a) {
+		t.Fatal("SetDefault did not take")
+	}
+	SetDefault(nil)
+	if Default() != nil {
+		t.Fatal("SetDefault(nil) did not disable")
+	}
+}

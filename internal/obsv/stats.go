@@ -1,0 +1,127 @@
+package obsv
+
+import (
+	"maps"
+	"sort"
+	"sync"
+)
+
+// Stats is a Collector that folds every event into named counters. It is
+// safe for concurrent use. Counter names are dotted paths; the fixed
+// vocabulary is documented on Snapshot.
+type Stats struct {
+	mu sync.Mutex
+	c  map[string]int64
+}
+
+// NewStats returns an empty counter collector.
+func NewStats() *Stats { return &Stats{c: map[string]int64{}} }
+
+func (s *Stats) add(kvs ...any) {
+	s.mu.Lock()
+	for i := 0; i+1 < len(kvs); i += 2 {
+		s.c[kvs[i].(string)] += kvs[i+1].(int64)
+	}
+	s.mu.Unlock()
+}
+
+// Fixpoint implements Collector.
+func (s *Stats) Fixpoint(f FixpointStats) {
+	p := "fixpoint." + f.Semantics
+	var deltaSum int64
+	for _, d := range f.Deltas {
+		deltaSum += int64(d)
+	}
+	s.add(
+		p+".calls", int64(1),
+		p+".passes", int64(f.Passes),
+		p+".derived", int64(f.Derived),
+		p+".deltaAtoms", deltaSum,
+		"scratch.reused", int64(f.ScratchReused),
+		"scratch.allocated", int64(f.ScratchAllocated),
+	)
+}
+
+// StableSearch implements Collector.
+func (s *Stats) StableSearch(st StableSearchStats) {
+	s.add(
+		"stable.searches", int64(1),
+		"stable.candidates", int64(st.Candidates),
+		"stable.models", int64(st.Models),
+		"stable.chunks", int64(st.Chunks),
+		"scratch.reused", int64(st.ScratchReused),
+		"scratch.allocated", int64(st.ScratchAllocated),
+	)
+}
+
+// Ground implements Collector.
+func (s *Stats) Ground(g GroundStats) {
+	s.add(
+		"ground.calls", int64(1),
+		"ground.atoms", int64(g.Atoms),
+		"ground.rules", int64(g.Rules),
+		"ground.passes", int64(g.Passes),
+		"ground.deltaHits", int64(g.DeltaHits),
+		"ground.deltaSkips", int64(g.DeltaSkips),
+	)
+}
+
+// Translate implements Collector.
+func (s *Stats) Translate(t TranslateStats) {
+	p := "translate." + t.Op
+	s.add(
+		p+".calls", int64(1),
+		p+".inSize", int64(t.InSize),
+		p+".outSize", int64(t.OutSize),
+	)
+}
+
+// Experiment implements Collector.
+func (s *Stats) Experiment(e ExperimentStats) {
+	s.add(
+		"expt.runs", int64(1),
+		"expt.wallNS", e.WallNS,
+		"expt.cpuNS", e.CPUNS,
+	)
+}
+
+// Snapshot is an immutable copy of a Stats collector's counters. The
+// counter vocabulary:
+//
+//	fixpoint.<semantics>.calls|passes|derived|deltaAtoms
+//	stable.searches|candidates|models|chunks
+//	scratch.reused|allocated
+//	ground.calls|atoms|rules|passes|deltaHits|deltaSkips
+//	translate.<op>.calls|inSize|outSize
+//	expt.runs|wallNS|cpuNS
+type Snapshot map[string]int64
+
+// Snapshot returns a copy of the current counters.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return maps.Clone(map[string]int64(s.c))
+}
+
+// Sub returns a − b per counter, dropping zero results: the events recorded
+// between two snapshots of the same collector.
+func (a Snapshot) Sub(b Snapshot) Snapshot {
+	out := Snapshot{}
+	for k, v := range a {
+		if d := v - b[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// Keys returns the counter names in sorted order, for deterministic
+// rendering.
+func (a Snapshot) Keys() []string {
+	out := make([]string, 0, len(a))
+	for k := range a {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

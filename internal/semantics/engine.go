@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"algrec/internal/datalog/ground"
+	"algrec/internal/obsv"
 )
 
 // Engine evaluates a ground program under the different semantics. It
@@ -36,9 +37,16 @@ type Engine struct {
 	hasNeg      bool
 	words       int     // bitset length in words, covering all atom ids
 	scr         scratch // buffers for the serial entry points
+	// obs receives one event per completed semantics computation; nil means
+	// observability is disabled. Events are emitted only from entry-point
+	// epilogues — never from the worklist loops — so a disabled collector
+	// costs one branch per call and an enabled one costs one event per call.
+	obs obsv.Collector
 }
 
-// NewEngine builds an engine for the ground program.
+// NewEngine builds an engine for the ground program. The engine captures
+// the process-default collector (obsv.Default) at construction; use
+// SetCollector to override it per engine.
 func NewEngine(g *ground.Program) *Engine {
 	n := g.NumAtoms()
 	e := &Engine{
@@ -47,6 +55,7 @@ func NewEngine(g *ground.Program) *Engine {
 		heads:       make([]int32, len(g.Rules)),
 		missingInit: make([]int32, len(g.Rules)),
 		words:       g.Words64(),
+		obs:         obsv.Default(),
 	}
 	for ri := range g.Rules {
 		r := &g.Rules[ri]
@@ -81,6 +90,26 @@ func NewEngine(g *ground.Program) *Engine {
 // Ground returns the engine's ground program.
 func (e *Engine) Ground() *ground.Program { return e.g }
 
+// SetCollector attaches an observability collector to the engine, replacing
+// the one captured from obsv.Default at construction. A nil collector
+// disables observability. Not safe to call concurrently with evaluation.
+func (e *Engine) SetCollector(c obsv.Collector) { e.obs = c }
+
+// emitFixpoint reports one completed semantics computation, charging the
+// serial scratch's buffer-pool activity since the previous event.
+func (e *Engine) emitFixpoint(sem string, passes, derived int, deltas []int) {
+	r, a := e.scr.takeCounters()
+	e.obs.Fixpoint(obsv.FixpointStats{
+		Semantics:        sem,
+		Passes:           passes,
+		Atoms:            e.g.NumAtoms(),
+		Derived:          derived,
+		Deltas:           deltas,
+		ScratchReused:    r,
+		ScratchAllocated: a,
+	})
+}
+
 // scratch holds the reusable buffers of one evaluation thread. The zero
 // value is ready to use: buffers are allocated on first use and recycled
 // through a small free list afterwards, so a warm scratch makes the fixpoint
@@ -89,6 +118,19 @@ type scratch struct {
 	missing []int32  // per-rule count of positive body atoms not yet derived
 	queue   []int32  // lfp work queue
 	pool    []Bitset // recycled truth vectors (all e.words long)
+	// reused and allocated count grab calls served from the pool vs freshly
+	// allocated; takeCounters drains them into an observability event. grab
+	// runs once per fixpoint pass, far off the hot path, so the counters are
+	// maintained unconditionally.
+	reused    int
+	allocated int
+}
+
+// takeCounters returns and resets the pool-activity counters.
+func (s *scratch) takeCounters() (reused, allocated int) {
+	reused, allocated = s.reused, s.allocated
+	s.reused, s.allocated = 0, 0
+	return reused, allocated
 }
 
 // grab returns a truth vector with the given word count, recycling from the
@@ -98,8 +140,10 @@ func (s *scratch) grab(words int) Bitset {
 	if n := len(s.pool); n > 0 && len(s.pool[n-1]) == words {
 		b := s.pool[n-1]
 		s.pool = s.pool[:n-1]
+		s.reused++
 		return b
 	}
+	s.allocated++
 	return make(Bitset, words)
 }
 
@@ -207,6 +251,9 @@ func (e *Engine) Minimal() (*Interp, error) {
 	s := &e.scr
 	derived := s.grab(e.words)
 	e.lfp(s, nil, nil, nil, nil, derived)
+	if e.obs != nil {
+		e.emitFixpoint("minimal", 1, derived.Popcount(), nil)
+	}
 	in := e.twoValued(derived)
 	s.release(derived)
 	return in, nil
@@ -222,6 +269,7 @@ func (e *Engine) MinimalNaive() (*Interp, error) {
 	s := &e.scr
 	derived := s.grab(e.words)
 	derived.ClearAll()
+	rounds := 0
 	for {
 		changed := false
 		for _, r := range e.g.Rules {
@@ -237,9 +285,13 @@ func (e *Engine) MinimalNaive() (*Interp, error) {
 				changed = true
 			}
 		}
+		rounds++
 		if !changed {
 			break
 		}
+	}
+	if e.obs != nil {
+		e.emitFixpoint("minimal-naive", rounds, derived.Popcount(), nil)
 	}
 	in := e.twoValued(derived)
 	s.release(derived)
@@ -277,6 +329,7 @@ func (e *Engine) Inflationary() (*Interp, int) {
 		work = append(work, ri)
 	}
 	var added []int
+	var deltas []int // per-step head counts, collected only when observed
 	steps := 0
 	for {
 		added = added[:0]
@@ -313,10 +366,26 @@ func (e *Engine) Inflationary() (*Interp, int) {
 		if len(added) == 0 {
 			break
 		}
-		for _, a := range added {
-			cur.Set(a)
+		if e.obs != nil {
+			// added can repeat a head (two spent rules, same head, one
+			// step); the reported delta is the distinct atoms gained.
+			n := 0
+			for _, a := range added {
+				if !cur.Get(a) {
+					n++
+				}
+				cur.Set(a)
+			}
+			deltas = append(deltas, n)
+		} else {
+			for _, a := range added {
+				cur.Set(a)
+			}
 		}
 		steps++
+	}
+	if e.obs != nil {
+		e.emitFixpoint("inflationary", steps, cur.Popcount(), deltas)
 	}
 	in := e.twoValued(cur)
 	e.scr.release(cur)
@@ -333,13 +402,18 @@ func (e *Engine) wellFounded(s *scratch) *Interp {
 	u := s.grab(e.words)
 	t2 := s.grab(e.words)
 	t.ClearAll()
+	iters := 0
 	for {
 		e.gamma(s, t, u)
 		e.gamma(s, u, t2)
+		iters++
 		if t.Equal(t2) {
 			break
 		}
 		t.CopyFrom(t2)
+	}
+	if e.obs != nil {
+		e.emitFixpoint("wellfounded", iters, t2.Popcount(), nil)
 	}
 	in := NewInterp(e.g, Undef)
 	t.ForEach(func(a int) { in.Set(a, True) })
@@ -367,6 +441,7 @@ func (e *Engine) Valid() *Interp {
 	t2 := s.grab(e.words)
 	t.ClearAll()
 	f.ClearAll()
+	iters := 0
 	for {
 		// (i) possible facts: derivations may use ¬a only when a ∉ T.
 		e.gamma(s, t, poss)
@@ -375,10 +450,14 @@ func (e *Engine) Valid() *Interp {
 		// (ii) new true facts: derivations start from T and may use ¬a only
 		// when a is certainly false.
 		e.lfp(s, nil, f, nil, t, t2)
+		iters++
 		if t.Equal(t2) {
 			break
 		}
 		t.CopyFrom(t2)
+	}
+	if e.obs != nil {
+		e.emitFixpoint("valid", iters, t.Popcount(), nil)
 	}
 	in := NewInterp(e.g, Undef)
 	t.ForEach(func(a int) { in.Set(a, True) })
@@ -427,6 +506,9 @@ func (e *Engine) Stratified(stratumOf map[string]int) (*Interp, error) {
 		st := st
 		e.lfp(s, derived, nil, func(ri int) bool { return headStratum[ri] <= st }, derived, next)
 		derived, next = next, derived
+	}
+	if e.obs != nil {
+		e.emitFixpoint("stratified", max+1, derived.Popcount(), nil)
 	}
 	in := e.twoValued(derived)
 	s.release(next)
@@ -479,7 +561,15 @@ func (e *Engine) StableModelsParallel(maxUndef, workers int) ([]*Interp, error) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || total < stableParallelThreshold {
-		return e.stableRange(&e.scr, base, undef, 0, total), nil
+		models := e.stableRange(&e.scr, base, undef, 0, total)
+		if e.obs != nil {
+			r, a := e.scr.takeCounters()
+			e.obs.StableSearch(obsv.StableSearchStats{
+				Undef: len(undef), Candidates: total, Models: len(models),
+				Workers: 1, Chunks: 1, ScratchReused: r, ScratchAllocated: a,
+			})
+		}
+		return models, nil
 	}
 	// Partition the mask space into more chunks than workers so an uneven
 	// chunk cannot straggle, and hand chunks out through an atomic cursor.
@@ -490,13 +580,16 @@ func (e *Engine) StableModelsParallel(maxUndef, workers int) ([]*Interp, error) 
 	}
 	chunkSize := (total + chunks - 1) / chunks
 	results := make([][]*Interp, chunks)
+	// Per-worker scratch: the engine's buffers stay serial-only. The slice
+	// (rather than goroutine-local variables) lets the observability
+	// epilogue sum the workers' pool counters after the join.
+	scratches := make([]scratch, workers)
 	var cursor atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(s *scratch) {
 			defer wg.Done()
-			var s scratch // per-worker scratch: the engine's buffers stay serial-only
 			for {
 				c := cursor.Add(1) - 1
 				if c >= chunks {
@@ -504,14 +597,25 @@ func (e *Engine) StableModelsParallel(maxUndef, workers int) ([]*Interp, error) 
 				}
 				lo := c * chunkSize
 				hi := min(lo+chunkSize, total)
-				results[c] = e.stableRange(&s, base, undef, lo, hi)
+				results[c] = e.stableRange(s, base, undef, lo, hi)
 			}
-		}()
+		}(&scratches[w])
 	}
 	wg.Wait()
 	var models []*Interp
 	for _, ms := range results {
 		models = append(models, ms...)
+	}
+	if e.obs != nil {
+		var r, a int
+		for i := range scratches {
+			dr, da := scratches[i].takeCounters()
+			r, a = r+dr, a+da
+		}
+		e.obs.StableSearch(obsv.StableSearchStats{
+			Undef: len(undef), Candidates: total, Models: len(models),
+			Workers: workers, Chunks: int(chunks), ScratchReused: r, ScratchAllocated: a,
+		})
 	}
 	return models, nil
 }

@@ -53,6 +53,7 @@ func AlgebraToDatalog(e algebra.Expr, result string, env map[string]string) (*da
 		Head: datalog.Atom{Pred: result, Args: []datalog.Term{x}},
 		Body: []datalog.Literal{datalog.Pos(p, x)},
 	})
+	emitTranslate("alg2dlog", t.n, len(t.prog.Rules), 0)
 	return t.prog, nil
 }
 
@@ -83,6 +84,7 @@ func CoreToDatalog(p *core.Program) (*datalog.Program, error) {
 			Body: []datalog.Literal{datalog.Pos(bp, x)},
 		})
 	}
+	emitTranslate("core2dlog", len(q.Defs), len(t.prog.Rules), 0)
 	return t.prog, nil
 }
 

@@ -94,6 +94,7 @@ func datalogToCore(p *datalog.Program, useFlip bool) (*core.Program, algebra.DB,
 		}
 		prog.Defs = append(prog.Defs, core.Def{Name: pred, Body: body})
 	}
+	emitTranslate("dlog2core", len(p.Rules), len(prog.Defs), 0)
 	return prog, db, nil
 }
 
@@ -209,6 +210,7 @@ func StratifiedToPositiveIFP(p *datalog.Program) (*core.Program, algebra.DB, err
 			prog.Defs = append(prog.Defs, core.Def{Name: pred, Body: untag(algebra.Rel{Name: stratumName}, pred)})
 		}
 	}
+	emitTranslate("strat2ifp", len(p.Rules), len(prog.Defs), 0)
 	return prog, db, nil
 }
 

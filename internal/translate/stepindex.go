@@ -109,6 +109,7 @@ func StepIndex(p *datalog.Program, bound int64) *datalog.Program {
 			Body: []datalog.Literal{datalog.LitAtom{Atom: pa}},
 		})
 	}
+	emitTranslate("stepindex", len(p.Rules), len(out.Rules), int(bound))
 	return out
 }
 

@@ -60,5 +60,6 @@ func EliminateIFP(e algebra.Expr, db algebra.DB) (*core.Program, algebra.DB, str
 			return nil, nil, "", fmt.Errorf("translate: internal error: IFP survived elimination in %q", d.Name)
 		}
 	}
+	emitTranslate("elimifp", len(dlog.Rules), len(cp.Defs), steps+1)
 	return cp, cdb, result, nil
 }

@@ -1,0 +1,140 @@
+// Command doccheck enforces the repository's documentation floor, using only
+// go/parser (no external tooling): every package must carry a package-level
+// doc comment, and packages listed with -strict must additionally document
+// every exported top-level declaration. `make lint` runs it across the
+// module; CI fails when documentation regresses.
+//
+// Usage:
+//
+//	doccheck [-strict dir1,dir2] [root]
+//
+// root defaults to the current directory. Vendored, hidden and testdata
+// directories are skipped, as are _test.go files (test helpers may stay
+// terse).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	var strictList string
+	args := os.Args[1:]
+	if len(args) >= 2 && args[0] == "-strict" {
+		strictList = args[1]
+		args = args[2:]
+	}
+	root := "."
+	if len(args) > 0 {
+		root = args[0]
+	}
+	strict := map[string]bool{}
+	for _, d := range strings.Split(strictList, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			strict[filepath.Clean(d)] = true
+		}
+	}
+
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		rel, _ := filepath.Rel(root, path)
+		problems = append(problems, checkDir(path, rel, strict[filepath.Clean(rel)])...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses the non-test Go files of one directory and reports its
+// documentation problems; a directory without Go files reports none.
+func checkDir(dir, rel string, strict bool) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse error: %v", rel, err)}
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasDoc = true
+				break
+			}
+		}
+		if !hasDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package doc comment", rel, pkg.Name))
+		}
+		if !strict {
+			continue
+		}
+		for fname, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				out = append(out, checkDecl(fset, fname, decl)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkDecl reports exported top-level declarations without doc comments.
+func checkDecl(fset *token.FileSet, fname string, decl ast.Decl) []string {
+	at := func(p token.Pos) string { return fset.Position(p).String() }
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			return []string{fmt.Sprintf("%s: exported %s %s has no doc comment", at(d.Pos()), kind, d.Name.Name)}
+		}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			var names []*ast.Ident
+			var specDoc *ast.CommentGroup
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				names, specDoc = []*ast.Ident{s.Name}, s.Doc
+			case *ast.ValueSpec:
+				names, specDoc = s.Names, s.Doc
+			}
+			for _, n := range names {
+				if n.IsExported() && d.Doc == nil && specDoc == nil {
+					out = append(out, fmt.Sprintf("%s: exported %s %s has no doc comment", at(n.Pos()), d.Tok, n.Name))
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
