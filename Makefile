@@ -1,5 +1,5 @@
 # Tier-1 verification: everything CI gates on.
-.PHONY: all check race bench test vet lint docs-fresh build clean
+.PHONY: all check race bench bench-delta test vet lint docs-fresh build clean
 
 all: check
 
@@ -16,10 +16,11 @@ test:
 	go test ./...
 
 # lint gates documentation: every package needs a package doc comment, and
-# the theorem-bearing packages (semantics, translate) must document every
-# exported declaration. doccheck is stdlib-only (tools/doccheck).
+# the theorem-bearing packages (semantics, translate) plus the delta-engine
+# packages (algebra, core) must document every exported declaration.
+# doccheck is stdlib-only (tools/doccheck).
 lint: vet
-	go run ./tools/doccheck -strict internal/semantics,internal/translate .
+	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/core .
 
 # docs-fresh regenerates EXPERIMENTS.md's tables from the committed record
 # (internal/expt/recorded/run.json) and fails if the committed document was
@@ -29,14 +30,20 @@ docs-fresh:
 	git diff --exit-code EXPERIMENTS.md
 
 # race exercises the packages with internal parallelism (the StableModels
-# worker pool, the sharded experiment runner, and the observability
-# collectors shared across both) under the race detector.
+# worker pool, the sharded experiment runner, the core scheduler's stratum
+# worker pool, and the observability collectors shared across all of them)
+# under the race detector.
 race:
-	go test -race ./internal/semantics ./internal/expt ./internal/obsv
+	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra
 
 # bench runs the full benchmark suite once per target (see also cmd/bench).
 bench:
 	go test -run XXX -bench . -benchtime 1x -timeout 1200s
+
+# bench-delta measures just the semi-naive delta fixpoint engine: P6
+# (naive vs semi-naive IFP) and the A4 ablation.
+bench-delta:
+	go test -run XXX -bench 'BenchmarkP6DeltaIFP|BenchmarkA4SemiNaiveAblation' -benchtime 1x .
 
 clean:
 	go clean ./...

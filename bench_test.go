@@ -1,5 +1,5 @@
 // Benchmarks: one testing.B target per experiment in DESIGN.md's
-// per-experiment index (E1–E11, P1–P5, ablations A1–A3), plus
+// per-experiment index (E1–E11, P1–P6, ablations A1–A4), plus
 // micro-benchmarks of the individual engines. The experiment functions themselves verify agreement
 // (they are also run as tests in internal/expt); here they are measured.
 package algrec_test
@@ -108,6 +108,17 @@ func BenchmarkA2ValidVsWFS(b *testing.B) {
 
 func BenchmarkA3HashJoin(b *testing.B) {
 	runSuite(b, func() (*expt.Table, error) { return expt.RunA3([]int{24}) })
+}
+
+// BenchmarkP6DeltaIFP runs P6 at its largest default size; the acceptance
+// bar for the delta engine is the semi-naive column beating the naive one by
+// >= 5x on the chain workload here.
+func BenchmarkP6DeltaIFP(b *testing.B) {
+	runSuite(b, func() (*expt.Table, error) { return expt.RunP6([]int{96}) })
+}
+
+func BenchmarkA4SemiNaiveAblation(b *testing.B) {
+	runSuite(b, func() (*expt.Table, error) { return expt.RunA4([]int{24}) })
 }
 
 // Micro-benchmarks of the individual engines.

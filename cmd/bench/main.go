@@ -1,5 +1,5 @@
-// Command bench runs the experiment suite (DESIGN.md's E1–E11, P1–P5 and
-// A1–A3) and prints one table per experiment. With -markdown the output is
+// Command bench runs the experiment suite (DESIGN.md's E1–E11, P1–P6 and
+// A1–A4) and prints one table per experiment. With -markdown the output is
 // the GitHub-flavored markdown recorded in EXPERIMENTS.md. With -parallel
 // independent suites and workload sizes run concurrently on a
 // GOMAXPROCS-sized worker pool (tables keep their serial order and content;
@@ -10,9 +10,14 @@
 //
 // Usage:
 //
-//	bench [-scale N] [-markdown] [-only E9] [-parallel] [-json path]
-//	      [-trace path] [-pprof dir]
+//	bench [-scale N] [-markdown] [-only E9] [-parallel] [-noseminaive]
+//	      [-json path] [-trace path] [-pprof dir]
 //	bench -render record.json [-update EXPERIMENTS.md]
+//
+// -noseminaive disables the semi-naive delta fixpoint engine process-wide
+// (algebra.DefaultBudget.NoSemiNaive): every IFP iterates naively and
+// internal/core uses its unscheduled sequential evaluators — the baseline of
+// the A4 ablation. Results are identical either way.
 //
 // -json accepts either a file name or an existing directory; a directory
 // gets a BENCH_<stamp>.json file created inside it. Serial runs attribute
@@ -41,6 +46,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"algrec/internal/algebra"
 	"algrec/internal/expt"
 	"algrec/internal/obsv"
 )
@@ -50,13 +56,14 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables for EXPERIMENTS.md")
 	only := flag.String("only", "", "run a single experiment by id (e.g. E9)")
 	parallel := flag.Bool("parallel", false, "run independent suites and workload sizes concurrently")
+	noSemiNaive := flag.Bool("noseminaive", false, "disable the semi-naive delta fixpoint engine (A4 ablation baseline)")
 	jsonPath := flag.String("json", "", "write an expt.Record report to this file (or BENCH_<stamp>.json inside this directory)")
 	tracePath := flag.String("trace", "", "stream observability events as JSON lines to this file")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	render := flag.String("render", "", "render EXPERIMENTS.md tables from this record file instead of running experiments")
 	update := flag.String("update", "", "with -render: splice the rendered section into this markdown file in place")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "Usage: bench [-scale N] [-markdown] [-only ID] [-parallel] [-json path] [-trace path] [-pprof dir]")
+		fmt.Fprintln(os.Stderr, "Usage: bench [-scale N] [-markdown] [-only ID] [-parallel] [-noseminaive] [-json path] [-trace path] [-pprof dir]")
 		fmt.Fprintln(os.Stderr, "       bench -render record.json [-update EXPERIMENTS.md]")
 		flag.PrintDefaults()
 	}
@@ -72,6 +79,12 @@ func main() {
 	if *update != "" {
 		fmt.Fprintln(os.Stderr, "bench: -update requires -render")
 		os.Exit(2)
+	}
+	if *noSemiNaive {
+		// Budget.WithDefaults ORs this in, so every evaluator built during
+		// the run — including those constructed deep inside experiments —
+		// falls back to the naive fixpoint engines.
+		algebra.DefaultBudget.NoSemiNaive = true
 	}
 
 	suites := expt.DefaultSuites(*scale)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"algrec/internal/obsv"
 	"algrec/internal/value"
 )
 
@@ -18,11 +19,21 @@ type Budget struct {
 	// NoHashJoin disables the σ(×) hash equi-join fast path (see join.go);
 	// used by the A3 ablation benchmark.
 	NoHashJoin bool
+	// NoSemiNaive disables the semi-naive delta fixpoint engine (see
+	// delta.go): every IFP iterates naively, and internal/core falls back to
+	// its unscheduled sequential evaluation of defining equations. Results
+	// are identical either way; the A4 ablation benchmark measures the cost.
+	// WithDefaults ORs in DefaultBudget.NoSemiNaive, so cmd/bench
+	// -noseminaive can disable the engine process-wide.
+	NoSemiNaive bool
 }
 
 // DefaultBudget is used for zero-valued Budget fields.
 var DefaultBudget = Budget{MaxIFPIters: 100_000, MaxSetSize: 5_000_000, MaxDepth: 1_000}
 
+// WithDefaults returns b with every zero-valued cap replaced by the
+// corresponding DefaultBudget value, and NoSemiNaive ORed with
+// DefaultBudget.NoSemiNaive (the process-wide ablation switch).
 func (b Budget) WithDefaults() Budget {
 	if b.MaxIFPIters <= 0 {
 		b.MaxIFPIters = DefaultBudget.MaxIFPIters
@@ -33,6 +44,7 @@ func (b Budget) WithDefaults() Budget {
 	if b.MaxDepth <= 0 {
 		b.MaxDepth = DefaultBudget.MaxDepth
 	}
+	b.NoSemiNaive = b.NoSemiNaive || DefaultBudget.NoSemiNaive
 	return b
 }
 
@@ -66,12 +78,18 @@ type Evaluator struct {
 	Call   CallResolver
 
 	depth int
+	obs   obsv.Collector
 }
 
-// NewEvaluator returns an evaluator over db with the given budget.
+// NewEvaluator returns an evaluator over db with the given budget. The
+// process-default observability collector is captured at construction.
 func NewEvaluator(db DB, budget Budget) *Evaluator {
-	return &Evaluator{DB: db, Budget: budget.WithDefaults()}
+	return &Evaluator{DB: db, Budget: budget.WithDefaults(), obs: obsv.Default()}
 }
+
+// SetCollector replaces the observability collector captured at
+// construction; nil disables event reporting.
+func (ev *Evaluator) SetCollector(c obsv.Collector) { ev.obs = c }
 
 // Eval evaluates the expression to a finite set.
 func (ev *Evaluator) Eval(e Expr) (value.Set, error) {
@@ -122,7 +140,9 @@ func (ev *Evaluator) eval(e Expr, local map[string]value.Set) (value.Set, error)
 		if err != nil {
 			return value.Set{}, err
 		}
-		if l.Len()*r.Len() > ev.Budget.MaxSetSize {
+		// Division-based comparison: l.Len()*r.Len() can overflow int and
+		// silently skip the guard.
+		if l.Len() > 0 && r.Len() > ev.Budget.MaxSetSize/l.Len() {
 			return value.Set{}, fmt.Errorf("%w: product of %d x %d elements exceeds MaxSetSize %d", ErrBudget, l.Len(), r.Len(), ev.Budget.MaxSetSize)
 		}
 		return l.Product(r), nil
@@ -165,30 +185,10 @@ func (ev *Evaluator) eval(e Expr, local map[string]value.Set) (value.Set, error)
 			return EvalF(ee.Out, FEnv{ee.Var: v})
 		})
 	case IFP:
-		acc := value.EmptySet
-		for iter := 0; ; iter++ {
-			if iter >= ev.Budget.MaxIFPIters {
-				return value.Set{}, fmt.Errorf("%w: IFP did not converge within %d iterations (the fixed point may be an infinite set)", ErrBudget, ev.Budget.MaxIFPIters)
-			}
-			inner := map[string]value.Set{ee.Var: acc}
-			for k, v := range local {
-				if k != ee.Var {
-					inner[k] = v
-				}
-			}
-			step, err := ev.eval(ee.Body, inner)
-			if err != nil {
-				return value.Set{}, err
-			}
-			next, err := ev.checkSize(acc.Union(step))
-			if err != nil {
-				return value.Set{}, err
-			}
-			if next.Len() == acc.Len() {
-				return next, nil
-			}
-			acc = next
-		}
+		useDelta := !ev.Budget.NoSemiNaive && DeltaDistributive(ee.Body, ee.Var)
+		return RunIFP(ee.Var, local, ev.Budget, useDelta, ev.obs, func(inner map[string]value.Set) (value.Set, error) {
+			return ev.eval(ee.Body, inner)
+		})
 	case Flip:
 		// Identity on total databases; the annotation only matters to the
 		// three-valued evaluator in internal/core.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"algrec/internal/algebra"
+	"algrec/internal/obsv"
 	"algrec/internal/value"
 )
 
@@ -105,6 +106,7 @@ type dualEvaluator struct {
 	db       algebra.DB
 	pos, neg map[string]value.Set
 	budget   algebra.Budget
+	obs      obsv.Collector
 }
 
 func (de *dualEvaluator) eval(e algebra.Expr, positive bool, local map[string]value.Set) (value.Set, error) {
@@ -158,7 +160,9 @@ func (de *dualEvaluator) eval(e algebra.Expr, positive bool, local map[string]va
 		if err != nil {
 			return value.Set{}, err
 		}
-		if l.Len()*r.Len() > de.budget.MaxSetSize {
+		// Division-based comparison: l.Len()*r.Len() can overflow int and
+		// silently skip the guard.
+		if l.Len() > 0 && r.Len() > de.budget.MaxSetSize/l.Len() {
 			return value.Set{}, fmt.Errorf("%w: product of %d x %d elements exceeds MaxSetSize %d", algebra.ErrBudget, l.Len(), r.Len(), de.budget.MaxSetSize)
 		}
 		return l.Product(r), nil
@@ -200,31 +204,14 @@ func (de *dualEvaluator) eval(e algebra.Expr, positive bool, local map[string]va
 	case algebra.IFP:
 		// IFP is an operator with its own inflationary semantics: the
 		// accumulating variable is a local binding, identical at both
-		// polarities; free defined constants keep their polarity.
-		acc := value.EmptySet
-		for iter := 0; ; iter++ {
-			if iter >= de.budget.MaxIFPIters {
-				return value.Set{}, fmt.Errorf("%w: IFP did not converge within %d iterations", algebra.ErrBudget, de.budget.MaxIFPIters)
-			}
-			inner := map[string]value.Set{ee.Var: acc}
-			for k, v := range local {
-				if k != ee.Var {
-					inner[k] = v
-				}
-			}
-			step, err := de.eval(ee.Body, positive, inner)
-			if err != nil {
-				return value.Set{}, err
-			}
-			next, err := de.checkSize(acc.Union(step))
-			if err != nil {
-				return value.Set{}, err
-			}
-			if next.Len() == acc.Len() {
-				return next, nil
-			}
-			acc = next
-		}
+		// polarities; free defined constants keep their polarity. The shared
+		// fixpoint loop runs semi-naive when the body distributes over union
+		// in the variable — distributivity is polarity-independent, because
+		// the variable itself is a local binding.
+		useDelta := !de.budget.NoSemiNaive && algebra.DeltaDistributive(ee.Body, ee.Var)
+		return algebra.RunIFP(ee.Var, local, de.budget, useDelta, de.obs, func(inner map[string]value.Set) (value.Set, error) {
+			return de.eval(ee.Body, positive, inner)
+		})
 	case algebra.Flip:
 		// Polarity annotation: evaluate at the opposite polarity, restoring
 		// correlation in the anti-join encoding (see algebra.Flip).
@@ -243,23 +230,29 @@ func (de *dualEvaluator) checkSize(s value.Set) (value.Set, error) {
 	return s, nil
 }
 
-// gamma computes the set-level Γ operator: the least (inflationary) joint
-// fixpoint of the defining equations where negative occurrences of defined
-// constants read the fixed environment neg. It is the lifting of the
+// gammaNaive computes the set-level Γ operator: the least (inflationary)
+// joint fixpoint of the defining equations where negative occurrences of
+// defined constants read the fixed environment neg. It is the lifting of the
 // Section 2.2 rule "only facts not in T are allowed to be used negatively":
 // with neg = T, an element is subtracted only if it certainly belongs to the
 // subtrahend, so the result is the set of possible members; with neg = the
 // possible sets, the result is the certain members.
-func gamma(p *Program, db algebra.DB, neg map[string]value.Set, budget algebra.Budget) (map[string]value.Set, error) {
+//
+// This is the reference engine, kept for Budget.NoSemiNaive (the A4
+// ablation): sequential Gauss-Seidel rounds over all definitions, no
+// schedule. gammaScheduled computes the identical sets.
+func gammaNaive(p *Program, db algebra.DB, neg map[string]value.Set, budget algebra.Budget, obs obsv.Collector, ctr *coreCounters) (map[string]value.Set, error) {
 	lower := map[string]value.Set{}
 	for _, d := range p.Defs {
 		lower[d.Name] = value.EmptySet
 	}
-	de := &dualEvaluator{db: db, pos: lower, neg: neg, budget: budget}
+	de := &dualEvaluator{db: db, pos: lower, neg: neg, budget: budget, obs: obs}
+	ctr.gammas++
 	for round := 0; ; round++ {
 		if round >= budget.MaxIFPIters {
 			return nil, fmt.Errorf("%w: defining equations did not reach a fixpoint within %d rounds", algebra.ErrBudget, budget.MaxIFPIters)
 		}
+		ctr.round(len(p.Defs), len(p.Defs), 1)
 		changed := false
 		for _, d := range p.Defs {
 			s, err := de.eval(d.Body, true, nil)
@@ -281,6 +274,50 @@ func gamma(p *Program, db algebra.DB, neg map[string]value.Set, budget algebra.B
 	}
 }
 
+// gammaScheduled computes the same Γ fixpoint as gammaNaive, stratum by
+// stratum. It is used only when the schedule proved Γ monotone in pos
+// (schedule.gammaMonotone — negative occurrences read the fixed neg
+// environment and no pos-environment read is subtracted or IFP-tainted), so
+// evaluating the posDeps-SCCs in topological order — each stratum iterated
+// to its own fixpoint with Jacobi rounds, re-evaluating only definitions
+// whose positive inputs changed in the previous round — reaches the
+// identical least fixpoint.
+func gammaScheduled(sched *schedule, p *Program, db algebra.DB, neg map[string]value.Set, budget algebra.Budget, obs obsv.Collector, ctr *coreCounters) (map[string]value.Set, error) {
+	lower := map[string]value.Set{}
+	for _, d := range p.Defs {
+		lower[d.Name] = value.EmptySet
+	}
+	de := &dualEvaluator{db: db, pos: lower, neg: neg, budget: budget, obs: obs}
+	ctr.gammas++
+	for _, stratum := range sched.strata {
+		active := stratum
+		for round := 0; len(active) > 0; round++ {
+			if round >= budget.MaxIFPIters {
+				return nil, fmt.Errorf("%w: defining equations did not reach a fixpoint within %d rounds", algebra.ErrBudget, budget.MaxIFPIters)
+			}
+			results, workers, err := evalRound(de, p.Defs, active)
+			if err != nil {
+				return nil, err
+			}
+			ctr.round(len(stratum), len(active), workers)
+			changed := map[int]bool{}
+			for k, i := range active {
+				d := p.Defs[i]
+				next := lower[d.Name].Union(results[k])
+				if next.Len() > budget.MaxSetSize {
+					return nil, fmt.Errorf("%w: defined set %q grew past MaxSetSize %d (the fixed point may be infinite)", algebra.ErrBudget, d.Name, budget.MaxSetSize)
+				}
+				if next.Len() != lower[d.Name].Len() {
+					lower[d.Name] = next
+					changed[i] = true
+				}
+			}
+			active = activate(stratum, sched.posDeps, changed)
+		}
+	}
+	return lower, nil
+}
+
 // EvalValid computes the valid interpretation of the program on the
 // database: the Section 2.2 alternating computation lifted to defined sets.
 // The program is inlined first; recursive parameterized definitions are
@@ -291,6 +328,25 @@ func EvalValid(p *Program, db algebra.DB, budget algebra.Budget) (*Result, error
 		return nil, err
 	}
 	budget = budget.WithDefaults()
+	obs := obsv.Default()
+	ctr := &coreCounters{}
+	var sched *schedule
+	if !budget.NoSemiNaive {
+		// The scheduled Γ is only equivalent to the reference engine when Γ is
+		// monotone in pos (see schedule.go): a Flip under a subtrahend, or a
+		// pos-environment read inside an IFP that is non-monotone in its own
+		// accumulator, makes gammaNaive's inflationary Gauss-Seidel genuinely
+		// order-dependent, and the reference order is the definition.
+		if s := newSchedule(q); s.gammaMonotone {
+			sched = s
+		}
+	}
+	gamma := func(neg map[string]value.Set) (map[string]value.Set, error) {
+		if sched != nil {
+			return gammaScheduled(sched, q, db, neg, budget, obs, ctr)
+		}
+		return gammaNaive(q, db, neg, budget, obs, ctr)
+	}
 	t := map[string]value.Set{}
 	for _, d := range q.Defs {
 		t[d.Name] = value.EmptySet
@@ -300,11 +356,11 @@ func EvalValid(p *Program, db algebra.DB, budget algebra.Budget) (*Result, error
 		if round >= budget.MaxIFPIters {
 			return nil, fmt.Errorf("%w: valid-model alternation did not converge within %d rounds", algebra.ErrBudget, budget.MaxIFPIters)
 		}
-		u, err = gamma(q, db, t, budget)
+		u, err = gamma(t)
 		if err != nil {
 			return nil, err
 		}
-		t2, err := gamma(q, db, u, budget)
+		t2, err := gamma(u)
 		if err != nil {
 			return nil, err
 		}
@@ -312,6 +368,16 @@ func EvalValid(p *Program, db algebra.DB, budget algebra.Budget) (*Result, error
 			break
 		}
 		t = t2
+	}
+	if obs != nil {
+		st := 0
+		if sched != nil {
+			st = len(sched.strata)
+		}
+		obs.CoreEval(obsv.CoreEvalStats{
+			Semantics: "valid", Defs: len(q.Defs), Strata: st,
+			Gammas: ctr.gammas, Rounds: ctr.rounds, Evals: ctr.evals, Skips: ctr.skips, Workers: ctr.workers,
+		})
 	}
 	return &Result{Lower: t, Upper: u, db: db, budget: budget}, nil
 }
@@ -327,17 +393,83 @@ func EvalInflationary(p *Program, db algebra.DB, budget algebra.Budget) (map[str
 		return nil, err
 	}
 	budget = budget.WithDefaults()
+	obs := obsv.Default()
 	cur := map[string]value.Set{}
 	for _, d := range q.Defs {
 		cur[d.Name] = value.EmptySet
 	}
+	if budget.NoSemiNaive {
+		return evalInflationaryNaive(q, db, budget, obs, cur)
+	}
+	// Inflationary semantics is not stratifiable — with pos = neg = cur,
+	// definitions interact through negative occurrences too, and evaluating
+	// them out of round order changes results (def A = {1} − B; def B = {1}:
+	// A = {1} under global rounds, ∅ under strata). The schedule is used only
+	// for what stays sound under global Jacobi rounds: skipping definitions
+	// none of whose inputs (at either polarity: allDeps) changed in the
+	// previous round — unchanged inputs mean an unchanged, already-absorbed
+	// body value — and evaluating the active definitions of one round
+	// concurrently.
+	sched := newSchedule(q)
+	ctr := &coreCounters{gammas: 1}
+	all := make([]int, len(q.Defs))
+	for i := range all {
+		all[i] = i
+	}
+	active := all
 	for round := 0; ; round++ {
 		if round >= budget.MaxIFPIters {
 			return nil, fmt.Errorf("%w: inflationary evaluation did not converge within %d rounds", algebra.ErrBudget, budget.MaxIFPIters)
 		}
-		de := &dualEvaluator{db: db, pos: cur, neg: cur, budget: budget}
+		de := &dualEvaluator{db: db, pos: cur, neg: cur, budget: budget, obs: obs}
+		results, workers, err := evalRound(de, q.Defs, active)
+		if err != nil {
+			return nil, err
+		}
+		ctr.round(len(q.Defs), len(active), workers)
+		next := make(map[string]value.Set, len(cur))
+		for name, s := range cur {
+			next[name] = s
+		}
+		changed := map[int]bool{}
+		for k, i := range active {
+			d := q.Defs[i]
+			ns := cur[d.Name].Union(results[k])
+			if ns.Len() > budget.MaxSetSize {
+				return nil, fmt.Errorf("%w: defined set %q grew past MaxSetSize %d", algebra.ErrBudget, d.Name, budget.MaxSetSize)
+			}
+			next[d.Name] = ns
+			if ns.Len() != cur[d.Name].Len() {
+				changed[i] = true
+			}
+		}
+		cur = next
+		active = activate(all, sched.allDeps, changed)
+		if len(active) == 0 {
+			if obs != nil {
+				obs.CoreEval(obsv.CoreEvalStats{
+					Semantics: "inflationary", Defs: len(q.Defs), Strata: len(sched.strata),
+					Gammas: ctr.gammas, Rounds: ctr.rounds, Evals: ctr.evals, Skips: ctr.skips, Workers: ctr.workers,
+				})
+			}
+			return cur, nil
+		}
+	}
+}
+
+// evalInflationaryNaive is the pre-schedule engine, kept bit-for-bit for
+// Budget.NoSemiNaive: sequential Jacobi rounds over all definitions.
+func evalInflationaryNaive(q *Program, db algebra.DB, budget algebra.Budget, obs obsv.Collector, cur map[string]value.Set) (map[string]value.Set, error) {
+	rounds, evals := 0, 0
+	for round := 0; ; round++ {
+		if round >= budget.MaxIFPIters {
+			return nil, fmt.Errorf("%w: inflationary evaluation did not converge within %d rounds", algebra.ErrBudget, budget.MaxIFPIters)
+		}
+		de := &dualEvaluator{db: db, pos: cur, neg: cur, budget: budget, obs: obs}
 		next := map[string]value.Set{}
 		changed := false
+		rounds++
+		evals += len(q.Defs)
 		for _, d := range q.Defs {
 			s, err := de.eval(d.Body, true, nil)
 			if err != nil {
@@ -354,6 +486,12 @@ func EvalInflationary(p *Program, db algebra.DB, budget algebra.Budget) (map[str
 		}
 		cur = next
 		if !changed {
+			if obs != nil {
+				obs.CoreEval(obsv.CoreEvalStats{
+					Semantics: "inflationary", Defs: len(q.Defs),
+					Gammas: 1, Rounds: rounds, Evals: evals, Workers: 1,
+				})
+			}
 			return cur, nil
 		}
 	}
@@ -362,14 +500,14 @@ func EvalInflationary(p *Program, db algebra.DB, budget algebra.Budget) (map[str
 // QueryLower evaluates an expression over the result's database and defined
 // sets, returning the certain (lower-bound) answer.
 func (r *Result) QueryLower(e algebra.Expr) (value.Set, error) {
-	de := &dualEvaluator{db: r.db, pos: r.Lower, neg: r.Upper, budget: r.budget}
+	de := &dualEvaluator{db: r.db, pos: r.Lower, neg: r.Upper, budget: r.budget, obs: obsv.Default()}
 	return de.eval(e, true, nil)
 }
 
 // QueryUpper evaluates an expression over the result's database and defined
 // sets, returning the possible (upper-bound) answer.
 func (r *Result) QueryUpper(e algebra.Expr) (value.Set, error) {
-	de := &dualEvaluator{db: r.db, pos: r.Upper, neg: r.Lower, budget: r.budget}
+	de := &dualEvaluator{db: r.db, pos: r.Upper, neg: r.Lower, budget: r.budget, obs: obsv.Default()}
 	return de.eval(e, true, nil)
 }
 

@@ -260,6 +260,53 @@ func RunP5(ks []int) (*Table, error) {
 	return t, nil
 }
 
+// RunP6 measures the semi-naive delta engine for IFP evaluation against the
+// naive engine on transitive-closure workloads: the naive engine re-derives
+// every path in every round (Θ(n) rounds over a Θ(n²)-pair closure on the
+// chain), the delta engine touches each pair once plus a delta-sized probe
+// per round. Both must agree — DeltaDistributive guarantees the identical
+// fixpoint — so the comparison is purely about cost.
+func RunP6(sizes []int) (*Table, error) {
+	t := &Table{ID: "P6", Title: "naive vs semi-naive delta IFP evaluation (performance)", OK: true,
+		Header: []string{"workload", "|tc|", "naive", "semiNaive", "speedup", "agree"}}
+	if algebra.DefaultBudget.NoSemiNaive {
+		t.Notes = append(t.Notes, "-noseminaive is set: the semiNaive column also runs the naive engine")
+	}
+	const reps = 3
+	for _, n := range sizes {
+		for _, w := range []struct {
+			name  string
+			edges []datalog.Fact
+		}{
+			{fmt.Sprintf("tcChain(%d)", n), ChainEdges("move", n)},
+			{fmt.Sprintf("tcRandom(%d)", n), RandomGraph("move", n, 2*n, int64(n))},
+		} {
+			db := FactsDB("move", w.edges)
+			e := TCIFPExpr("move")
+			var naive, semi value.Set
+			var err error
+			dNaive := minTimed(reps, func() {
+				naive, err = algebra.NewEvaluator(db, algebra.Budget{NoSemiNaive: true}).Eval(e)
+			})
+			if err != nil {
+				return nil, err
+			}
+			dSemi := minTimed(reps, func() {
+				semi, err = algebra.NewEvaluator(db, algebra.Budget{}).Eval(e)
+			})
+			if err != nil {
+				return nil, err
+			}
+			agree := value.Equal(naive, semi)
+			if !agree {
+				t.OK = false
+			}
+			t.Add(w.name, semi.Len(), dNaive, dSemi, speedup(dNaive, dSemi), agree)
+		}
+	}
+	return t, nil
+}
+
 // minTimed runs f reps times and returns the fastest run — the standard
 // guard against one-off GC or scheduler noise in the P-series timings.
 func minTimed(reps int, f func()) time.Duration {

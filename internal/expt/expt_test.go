@@ -24,9 +24,11 @@ func testSuites() []Suite {
 		sharded("P3", []int{2, 4}, RunP3),
 		sharded("P4", []int{32, 64}, RunP4),
 		sharded("P5", []int{3, 5}, RunP5),
+		sharded("P6", []int{8, 16}, RunP6),
 		sharded("A1", []int{60}, RunA1),
 		sharded("A2", []int{8, 16}, RunA2),
 		sharded("A3", []int{8, 16}, RunA3),
+		sharded("A4", []int{8, 16}, RunA4),
 	}
 }
 

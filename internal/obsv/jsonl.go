@@ -41,6 +41,12 @@ func (j *JSONL) emit(kind string, data any) {
 // Fixpoint implements Collector.
 func (j *JSONL) Fixpoint(s FixpointStats) { j.emit("fixpoint", s) }
 
+// IFP implements Collector.
+func (j *JSONL) IFP(s IFPStats) { j.emit("ifp", s) }
+
+// CoreEval implements Collector.
+func (j *JSONL) CoreEval(s CoreEvalStats) { j.emit("core_eval", s) }
+
 // StableSearch implements Collector.
 func (j *JSONL) StableSearch(s StableSearchStats) { j.emit("stable_search", s) }
 

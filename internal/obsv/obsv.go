@@ -71,6 +71,52 @@ type StableSearchStats struct {
 	ScratchAllocated int
 }
 
+// IFPStats describes one completed IFP fixpoint evaluation of a set
+// expression — by the two-valued evaluator of internal/algebra or the
+// three-valued dual evaluator of internal/core.
+type IFPStats struct {
+	// Mode is "seminaive" when the delta engine evaluated the body only on
+	// the per-round delta (the body is distributive over union in the
+	// fixpoint variable), "naive" when every round re-evaluated the body on
+	// the full accumulator.
+	Mode string
+	// Rounds counts body evaluations, including the final unchanged round
+	// that detects the fixpoint.
+	Rounds int
+	// Result is the cardinality of the fixpoint.
+	Result int
+	// Deltas holds the per-round growth of the accumulator (the delta sizes
+	// driving the semi-naive engine; the last entry is always 0).
+	Deltas []int
+}
+
+// CoreEvalStats describes one algebra= program evaluation by internal/core:
+// one EvalValid or EvalInflationary call.
+type CoreEvalStats struct {
+	// Semantics is "valid" or "inflationary".
+	Semantics string
+	// Defs is the number of defined constants after inlining.
+	Defs int
+	// Strata is the number of strongly-connected components the scheduler
+	// evaluated in topological order; 0 for the naive engine
+	// (Budget.NoSemiNaive), which has no schedule.
+	Strata int
+	// Gammas counts Γ passes: two per alternation round for "valid", always
+	// 1 for "inflationary" (its rounds are global).
+	Gammas int
+	// Rounds is the total number of evaluation rounds summed over strata and
+	// Γ passes.
+	Rounds int
+	// Evals counts definition bodies evaluated; Skips counts (definition,
+	// round) pairs the delta tracker proved redundant — no input set of the
+	// definition changed in the previous round — and skipped.
+	Evals int
+	Skips int
+	// Workers is the largest worker-pool size used to evaluate independent
+	// same-stratum definitions concurrently (1 = everything ran serially).
+	Workers int
+}
+
 // GroundStats describes one grounding (ground.Ground call).
 type GroundStats struct {
 	Atoms      int // ground atoms interned
@@ -100,7 +146,7 @@ type TranslateStats struct {
 // ExperimentStats describes one experiment (or one shard of one) run by the
 // internal/expt harness.
 type ExperimentStats struct {
-	ID     string // experiment id (E1..E11, P1..P5, A1..A3)
+	ID     string // experiment id (E1..E11, P1..P6, A1..A4)
 	Shard  int    // shard index, -1 for a whole-suite run
 	WallNS int64  // wall-clock nanoseconds
 	CPUNS  int64  // process CPU nanoseconds (0 when unattributable)
@@ -115,6 +161,8 @@ type ExperimentStats struct {
 // predictable branch per engine call.
 type Collector interface {
 	Fixpoint(FixpointStats)
+	IFP(IFPStats)
+	CoreEval(CoreEvalStats)
 	StableSearch(StableSearchStats)
 	Ground(GroundStats)
 	Translate(TranslateStats)
@@ -129,6 +177,12 @@ type Nop struct{}
 
 // Fixpoint implements Collector.
 func (Nop) Fixpoint(FixpointStats) {}
+
+// IFP implements Collector.
+func (Nop) IFP(IFPStats) {}
+
+// CoreEval implements Collector.
+func (Nop) CoreEval(CoreEvalStats) {}
 
 // StableSearch implements Collector.
 func (Nop) StableSearch(StableSearchStats) {}
@@ -167,6 +221,18 @@ func Multi(cs ...Collector) Collector {
 func (m multi) Fixpoint(s FixpointStats) {
 	for _, c := range m {
 		c.Fixpoint(s)
+	}
+}
+
+func (m multi) IFP(s IFPStats) {
+	for _, c := range m {
+		c.IFP(s)
+	}
+}
+
+func (m multi) CoreEval(s CoreEvalStats) {
+	for _, c := range m {
+		c.CoreEval(s)
 	}
 }
 

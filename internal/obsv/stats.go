@@ -42,6 +42,31 @@ func (s *Stats) Fixpoint(f FixpointStats) {
 	)
 }
 
+// IFP implements Collector.
+func (s *Stats) IFP(f IFPStats) {
+	p := "ifp." + f.Mode
+	var deltaSum int64
+	for _, d := range f.Deltas {
+		deltaSum += int64(d)
+	}
+	s.add(
+		p+".calls", int64(1),
+		p+".rounds", int64(f.Rounds),
+		p+".deltaElems", deltaSum,
+	)
+}
+
+// CoreEval implements Collector.
+func (s *Stats) CoreEval(c CoreEvalStats) {
+	p := "core." + c.Semantics
+	s.add(
+		p+".calls", int64(1),
+		p+".rounds", int64(c.Rounds),
+		p+".evals", int64(c.Evals),
+		p+".skips", int64(c.Skips),
+	)
+}
+
 // StableSearch implements Collector.
 func (s *Stats) StableSearch(st StableSearchStats) {
 	s.add(
@@ -89,6 +114,8 @@ func (s *Stats) Experiment(e ExperimentStats) {
 // counter vocabulary:
 //
 //	fixpoint.<semantics>.calls|passes|derived|deltaAtoms
+//	ifp.<mode>.calls|rounds|deltaElems
+//	core.<semantics>.calls|rounds|evals|skips
 //	stable.searches|candidates|models|chunks
 //	scratch.reused|allocated
 //	ground.calls|atoms|rules|passes|deltaHits|deltaSkips

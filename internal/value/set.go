@@ -1,6 +1,9 @@
 package value
 
-import "strings"
+import (
+	"sort"
+	"strings"
+)
 
 // Set is a finite set of values in canonical form: the elements are sorted by
 // the total order on values and contain no duplicates. The zero Set is the
@@ -71,23 +74,23 @@ func (s Set) Has(v Value) bool {
 
 // Insert returns s ∪ {v} (the paper's INS).
 func (s Set) Insert(v Value) Set {
-	if s.Has(v) {
+	at := sort.Search(len(s.elems), func(i int) bool { return s.elems[i].Compare(v) >= 0 })
+	if at < len(s.elems) && s.elems[at].Compare(v) == 0 {
 		return s
 	}
-	out := make([]Value, 0, len(s.elems)+1)
-	placed := false
-	for _, e := range s.elems {
-		if !placed && v.Compare(e) < 0 {
-			out = append(out, v)
-			placed = true
-		}
-		out = append(out, e)
-	}
-	if !placed {
-		out = append(out, v)
-	}
+	out := make([]Value, len(s.elems)+1)
+	copy(out, s.elems[:at])
+	out[at] = v
+	copy(out[at+1:], s.elems[at:])
 	return setFromSorted(out)
 }
+
+// gallopFactor is the size ratio beyond which the lopsided set operations
+// switch from the element-wise merge (one Compare per element of the larger
+// set) to binary-searching the larger set and copying it in slabs. Fixpoint
+// accumulators make this the hot shape: the semi-naive delta engine unions a
+// small per-round delta into a large accumulator every round.
+const gallopFactor = 8
 
 // Union returns s ∪ t.
 func (s Set) Union(t Set) Set {
@@ -96,6 +99,12 @@ func (s Set) Union(t Set) Set {
 	}
 	if t.IsEmpty() {
 		return s
+	}
+	if len(s.elems) >= gallopFactor*len(t.elems) {
+		return unionGallop(s.elems, t.elems)
+	}
+	if len(t.elems) >= gallopFactor*len(s.elems) {
+		return unionGallop(t.elems, s.elems)
 	}
 	out := make([]Value, 0, len(s.elems)+len(t.elems))
 	i, j := 0, 0
@@ -119,10 +128,42 @@ func (s Set) Union(t Set) Set {
 	return setFromSorted(out)
 }
 
+// unionGallop merges the smaller sorted slice into the larger one: for each
+// element of small, binary-search its position in the unconsumed tail of big
+// and copy the preceding slab wholesale. Cost is |small| searches of
+// O(log |big|) Compares plus one pass of copying, instead of a Compare per
+// element of big.
+func unionGallop(big, small []Value) Set {
+	out := make([]Value, 0, len(big)+len(small))
+	lo := 0
+	for _, v := range small {
+		at := lo + sort.Search(len(big)-lo, func(i int) bool { return big[lo+i].Compare(v) >= 0 })
+		out = append(out, big[lo:at]...)
+		lo = at
+		if lo < len(big) && big[lo].Compare(v) == 0 {
+			continue // duplicate: big's copy lands with the next slab
+		}
+		out = append(out, v)
+	}
+	out = append(out, big[lo:]...)
+	return setFromSorted(out)
+}
+
 // Diff returns s − t (the algebra's subtraction).
 func (s Set) Diff(t Set) Set {
 	if s.IsEmpty() || t.IsEmpty() {
 		return s
+	}
+	if len(t.elems) >= gallopFactor*len(s.elems) {
+		// Small minus large: membership-test each element of s instead of
+		// scanning t (the semi-naive delta engine's Δ − accumulator shape).
+		out := make([]Value, 0, len(s.elems))
+		for _, e := range s.elems {
+			if !t.Has(e) {
+				out = append(out, e)
+			}
+		}
+		return setFromSorted(out)
 	}
 	out := make([]Value, 0, len(s.elems))
 	i, j := 0, 0
