@@ -1,5 +1,5 @@
 # Tier-1 verification: everything CI gates on.
-.PHONY: all check race bench bench-delta test vet lint docs-fresh build clean
+.PHONY: all check race bench bench-delta bench-check fuzz-smoke test vet lint docs-fresh build clean
 
 all: check
 
@@ -20,7 +20,7 @@ test:
 # packages (algebra, core) must document every exported declaration.
 # doccheck is stdlib-only (tools/doccheck).
 lint: vet
-	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/core .
+	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/core,internal/randgen,internal/diffcheck .
 
 # docs-fresh regenerates EXPERIMENTS.md's tables from the committed record
 # (internal/expt/recorded/run.json) and fails if the committed document was
@@ -32,9 +32,10 @@ docs-fresh:
 # race exercises the packages with internal parallelism (the StableModels
 # worker pool, the sharded experiment runner, the core scheduler's stratum
 # worker pool, and the observability collectors shared across all of them)
-# under the race detector.
+# under the race detector; diffcheck rides along because its clean-sweep
+# test drives every engine from parallel subtests.
 race:
-	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra
+	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/randgen ./internal/diffcheck
 
 # bench runs the full benchmark suite once per target (see also cmd/bench).
 bench:
@@ -44,6 +45,25 @@ bench:
 # (naive vs semi-naive IFP) and the A4 ablation.
 bench-delta:
 	go test -run XXX -bench 'BenchmarkP6DeltaIFP|BenchmarkA4SemiNaiveAblation' -benchtime 1x .
+
+# bench-check reruns the experiment suite at the baseline's scale and
+# compares the fresh record against the committed BENCH_baseline.json
+# (tools/benchcheck): advisory perf-regression gate, generous tolerance.
+# Refresh the baseline with: go run ./cmd/bench -scale 1 -json BENCH_baseline.json
+bench-check:
+	@tmp=$$(mktemp -d) && \
+	go run ./cmd/bench -scale 1 -json $$tmp/current.json >/dev/null && \
+	go run ./tools/benchcheck -baseline BENCH_baseline.json $$tmp/current.json; \
+	rc=$$?; rm -rf $$tmp; exit $$rc
+
+# fuzz-smoke gives every differential oracle (internal/diffcheck) a short
+# coverage-guided run; CI runs the same targets per-oracle in a matrix, and
+# plain `go test` already replays the committed corpora.
+fuzz-smoke:
+	@for t in ExprSemiNaive ExprIFPElim CoreValid CoreInflationary CoreWellFounded \
+	          DlogTheorem62 DlogTheorem43 DlogMinimal DlogStratified DlogStable; do \
+		go test ./internal/diffcheck -run '^$$' -fuzz "^Fuzz$$t\$$" -fuzztime 10s || exit 1; \
+	done
 
 clean:
 	go clean ./...

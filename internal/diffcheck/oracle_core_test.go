@@ -1,0 +1,72 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"algrec/internal/algebra"
+	"algrec/internal/core"
+	"algrec/internal/translate"
+	"algrec/internal/value"
+)
+
+// pairs builds the diagonal relation {(v, v) : v in vs}.
+func pairs(vs ...int64) value.Set {
+	s := value.EmptySet
+	for _, v := range vs {
+		s = s.Insert(value.Pair(value.Int(v), value.Int(v)))
+	}
+	return s
+}
+
+// TestCoreWellFoundedScope pins the two fuzzer-found boundaries excluded
+// from the core-wellfounded oracle: on each minimal witness the native
+// valid interpretation and the translated well-founded reading genuinely
+// differ, so the oracle must classify the program as out of scope — and
+// must keep a plain single-negation recursion in scope.
+func TestCoreWellFoundedScope(t *testing.T) {
+	rel := func(n string) algebra.Expr { return algebra.Rel{Name: n} }
+	db := algebra.DB{"m": pairs(0, 1, 2), "a": pairs(0)}
+
+	cases := []struct {
+		name       string
+		body       algebra.Expr
+		comparable bool
+	}{
+		// def s = diff(m, diff(a, s)): double subtrahend cancels for exact
+		// sets but not through the translation's auxiliary predicate.
+		{"double-subtrahend", algebra.Diff{L: rel("m"), R: algebra.Diff{L: rel("a"), R: rel("s")}}, false},
+		// Same shape with the recursion through an IFP variable.
+		{"double-subtrahend-ifp",
+			algebra.IFP{Var: "v", Body: algebra.Diff{L: rel("m"), R: algebra.Diff{L: rel("a"), R: rel("v")}}}, false},
+		// Non-monotone IFP: flat recursion is not the inflationary operator.
+		{"non-monotone-ifp", algebra.IFP{Var: "v", Body: algebra.Diff{L: rel("m"), R: rel("v")}}, false},
+		// Single negation over the recursion stays in scope.
+		{"single-subtrahend", algebra.Diff{L: rel("m"), R: rel("s")}, true},
+		{"positive-ifp", algebra.IFP{Var: "v", Body: algebra.Union{L: rel("a"), R: rel("v")}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &core.Program{Defs: []core.Def{{Name: "s", Body: tc.body}}}
+			if got := coreWFComparable(p); got != tc.comparable {
+				t.Fatalf("coreWFComparable = %v, want %v", got, tc.comparable)
+			}
+			if err := checkCoreWellFounded(p, db); err != nil {
+				t.Fatalf("oracle reported a divergence: %v", err)
+			}
+			if tc.comparable {
+				return
+			}
+			// Out-of-scope witnesses must actually differ across the
+			// boundary — otherwise the scope exclusion is too wide.
+			res, errV := core.EvalValid(p, db, ExprBudget)
+			lower, upper, errW := translate.WellFoundedSets(p, db)
+			if errV != nil || errW != nil {
+				t.Skipf("engines rejected the witness: valid=%v wf=%v", errV, errW)
+			}
+			if value.Equal(res.Lower["s"], lower["s"]) && value.Equal(res.Upper["s"], upper["s"]) {
+				t.Errorf("witness does not separate the semantics:\nvalid  lower=%v upper=%v\nwf     lower=%v upper=%v",
+					res.Lower["s"], res.Upper["s"], lower["s"], upper["s"])
+			}
+		})
+	}
+}

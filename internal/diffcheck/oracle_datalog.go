@@ -1,0 +1,206 @@
+package diffcheck
+
+import (
+	"errors"
+
+	"algrec/internal/core"
+	"algrec/internal/datalog"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/semantics"
+	"algrec/internal/translate"
+)
+
+// diffInterpPred compares one predicate of a deductive interpretation
+// against the lower/undef reading of a core result for the same predicate.
+func diffInterpPred(oracle, pred string, in *semantics.Interp, res *core.Result) error {
+	if err := diffSets(oracle, "certain part of "+pred, translate.TrueSet(in, pred), res.Set(pred)); err != nil {
+		return err
+	}
+	return diffSets(oracle, "undefined part of "+pred, translate.UndefSet(in, pred), res.UndefElems(pred))
+}
+
+// checkDlogTheorem62 runs a free-polarity deductive program under the valid
+// semantics directly, and through the Theorem 6.2 route: translate to
+// algebra= (Proposition 6.1 machinery) and evaluate with core.EvalValid.
+// Certain and undefined parts of every IDB predicate must coincide.
+func checkDlogTheorem62(p *datalog.Program) error {
+	const oracle = "dlog-theorem62"
+	in, errD := semantics.Eval(p, semantics.SemValid, GroundBudget)
+	cp, db, errT := translate.DatalogToCore(p)
+	if errT != nil {
+		return nil // translation gap: not comparable
+	}
+	res, errC := core.EvalValid(cp, db, ExprBudget)
+	if done, err := pairErr(oracle, "deductive valid", "algebra= valid", errD, errC); done {
+		return err
+	}
+	for _, pred := range p.IDB() {
+		if err := diffInterpPred(oracle, pred, in, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkDlogTheorem43 runs a stratifiable program through stratified
+// evaluation and through the constructive direction of Theorem 4.3: the
+// positive-IFP translation evaluated under the valid semantics. The theorem
+// demands the translated program be total on every IDB predicate and agree
+// with the stratified model.
+func checkDlogTheorem43(p *datalog.Program) error {
+	const oracle = "dlog-theorem43"
+	strat, err := datalog.Stratify(p)
+	if err != nil {
+		return nil // generator contract violated elsewhere; not this oracle's bug
+	}
+	g, errG := ground.Ground(p, GroundBudget)
+	var in *semantics.Interp
+	var errD error
+	if errG != nil {
+		errD = errG
+	} else {
+		in, errD = semantics.NewEngine(g).Stratified(strat)
+	}
+	cp, db, errT := translate.StratifiedToPositiveIFP(p)
+	if errT != nil {
+		return nil // translation gap: not comparable
+	}
+	res, errC := core.EvalValid(cp, db, ExprBudget)
+	if done, err := pairErr(oracle, "stratified", "positive-IFP", errD, errC); done {
+		return err
+	}
+	for _, pred := range p.IDB() {
+		if !res.IsTotal(pred) {
+			return diverge(oracle, "positive-IFP program left %q three-valued: undef %v",
+				pred, res.UndefElems(pred))
+		}
+		if err := diffSets(oracle, "stratum content of "+pred,
+			translate.TrueSet(in, pred), res.Set(pred)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groundEngine grounds a program under GroundBudget and returns a fresh
+// engine over it. Each pipeline gets its own engine so no scratch state is
+// shared between the sides being compared.
+func groundEngine(p *datalog.Program) (*ground.Program, error) {
+	return ground.Ground(p, GroundBudget)
+}
+
+// diffInterps compares two interpretations of the same ground program on
+// every IDB predicate, by certain and undefined parts.
+func diffInterps(oracle, left, right string, p *datalog.Program, a, b *semantics.Interp) error {
+	for _, pred := range p.IDB() {
+		if err := diffSets(oracle, left+" vs "+right+": certain part of "+pred,
+			translate.TrueSet(a, pred), translate.TrueSet(b, pred)); err != nil {
+			return err
+		}
+		if err := diffSets(oracle, left+" vs "+right+": undefined part of "+pred,
+			translate.UndefSet(a, pred), translate.UndefSet(b, pred)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkDlogMinimal checks the positive-program collapse: semi-naive and
+// naive minimal-model computation are bit-identical, and on negation-free
+// programs the inflationary and valid semantics compute that same model
+// (the valid one totally).
+func checkDlogMinimal(p *datalog.Program) error {
+	const oracle = "dlog-minimal"
+	g, err := groundEngine(p)
+	if err != nil {
+		return nil // grounding budget
+	}
+	min, errM := semantics.NewEngine(g).Minimal()
+	ref, errR := semantics.NewEngine(g).MinimalNaive()
+	if done, err := pairErr(oracle, "semi-naive minimal", "naive minimal", errM, errR); done {
+		return err
+	}
+	if err := diffInterps(oracle, "semi-naive", "naive", p, min, ref); err != nil {
+		return err
+	}
+	infl, _ := semantics.NewEngine(g).Inflationary()
+	if err := diffInterps(oracle, "minimal", "inflationary", p, min, infl); err != nil {
+		return err
+	}
+	valid := semantics.NewEngine(g).Valid()
+	if !valid.IsTotal() {
+		return diverge(oracle, "valid semantics is partial on a positive program: %d undef atoms", valid.CountUndef())
+	}
+	return diffInterps(oracle, "minimal", "valid", p, min, valid)
+}
+
+// checkDlogStratified checks the stratifiable-program collapse: stratified,
+// well-founded and valid evaluation agree and are total. (The inflationary
+// semantics is deliberately absent: it disagrees with stratified evaluation
+// even on stratifiable programs — deriving q from "q :- not r" before r's
+// rule fires is not undone later.)
+func checkDlogStratified(p *datalog.Program) error {
+	const oracle = "dlog-stratified"
+	strat, err := datalog.Stratify(p)
+	if err != nil {
+		return nil
+	}
+	g, err := groundEngine(p)
+	if err != nil {
+		return nil
+	}
+	st, errS := semantics.NewEngine(g).Stratified(strat)
+	if errS != nil {
+		return diverge(oracle, "stratified evaluation rejected a stratifiable program: %v", errS)
+	}
+	wf := semantics.NewEngine(g).WellFounded()
+	if !wf.IsTotal() {
+		return diverge(oracle, "well-founded model is partial on a stratifiable program: %d undef atoms", wf.CountUndef())
+	}
+	valid := semantics.NewEngine(g).Valid()
+	if !valid.IsTotal() {
+		return diverge(oracle, "valid model is partial on a stratifiable program: %d undef atoms", valid.CountUndef())
+	}
+	if err := diffInterps(oracle, "stratified", "well-founded", p, st, wf); err != nil {
+		return err
+	}
+	return diffInterps(oracle, "stratified", "valid", p, st, valid)
+}
+
+// stableMaxUndef bounds the residual for the stable-model oracle: programs
+// whose well-founded residual is larger are skipped rather than searched.
+const stableMaxUndef = 14
+
+// checkDlogStable checks that stable-model search is independent of the
+// worker count: the sequential search and a 3-worker search must return the
+// same models in the same order.
+func checkDlogStable(p *datalog.Program) error {
+	const oracle = "dlog-stable"
+	g, err := groundEngine(p)
+	if err != nil {
+		return nil
+	}
+	seq, errS := semantics.NewEngine(g).StableModels(stableMaxUndef)
+	par, errP := semantics.NewEngine(g).StableModelsParallel(stableMaxUndef, 3)
+	if errors.Is(errS, semantics.ErrTooManyUndef) || errors.Is(errP, semantics.ErrTooManyUndef) {
+		if (errS == nil) != (errP == nil) {
+			return diverge(oracle, "residual-size rejection differs: sequential %v, parallel %v", errS, errP)
+		}
+		return nil
+	}
+	if done, err := pairErr(oracle, "sequential", "parallel", errS, errP); done {
+		return err
+	}
+	if len(seq) != len(par) {
+		return diverge(oracle, "model count differs: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		for id := 0; id < g.NumAtoms(); id++ {
+			if seq[i].Truth(id) != par[i].Truth(id) {
+				return diverge(oracle, "model %d differs on atom %v: sequential %v, parallel %v",
+					i, g.Atom(id), seq[i].Truth(id), par[i].Truth(id))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package diffcheck
+
+import (
+	"sort"
+
+	"algrec/internal/algebra"
+	"algrec/internal/core"
+	"algrec/internal/datalog"
+	"algrec/internal/value"
+)
+
+// Shrink greedily minimizes a diverging instance: it repeatedly tries
+// one-step reductions (replace an expression node by a child or by EMPTY,
+// drop a database element, drop a definition, drop a rule or body literal)
+// and keeps any strictly smaller candidate that still diverges. The result
+// still fails Check; instances that do not diverge are returned unchanged.
+//
+// Candidates with dangling relation names or unsafe rules are filtered
+// before Check (see candidates); remaining uninteresting breakage
+// self-filters because both pipelines reject it, which Check reports as
+// agreement.
+func (in *Instance) Shrink() *Instance {
+	cur := in
+	if _, diverging := IsDivergence(cur.Check()); !diverging {
+		return cur
+	}
+	for {
+		improved := false
+		for _, cand := range cur.candidates() {
+			if cand.Size() >= cur.Size() {
+				continue
+			}
+			if _, diverging := IsDivergence(cand.Check()); diverging {
+				cur, improved = cand, true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// candidates returns every one-step reduction of the instance. Reductions
+// that leave a relation name dangling are dropped by closed: stripping an
+// IFP binder or a defining equation can free its variable, and the engines
+// disagree only on how they reject such programs (core errors on the
+// unknown relation, the deductive translation reads it as empty), which
+// would surface as a bogus divergence rather than a smaller witness.
+func (in *Instance) candidates() []*Instance {
+	var out []*Instance
+	add := func(c *Instance) {
+		if c.closed() {
+			out = append(out, c)
+		}
+	}
+	switch {
+	case in.Expr != nil:
+		for _, e := range exprCandidates(in.Expr) {
+			add(&Instance{Oracle: in.Oracle, Expr: e, DB: in.DB})
+		}
+		for _, db := range dbCandidates(in.DB) {
+			add(&Instance{Oracle: in.Oracle, Expr: in.Expr, DB: db})
+		}
+	case in.Core != nil:
+		for _, p := range coreCandidates(in.Core) {
+			add(&Instance{Oracle: in.Oracle, Core: p, DB: in.DB})
+		}
+		for _, db := range dbCandidates(in.DB) {
+			add(&Instance{Oracle: in.Oracle, Core: in.Core, DB: db})
+		}
+	default:
+		for _, p := range dlogCandidates(in.Dlog) {
+			add(&Instance{Oracle: in.Oracle, Dlog: p})
+		}
+	}
+	return out
+}
+
+// closed reports whether every free relation name of the instance resolves:
+// to a database relation, a defined equation, or (inside a definition body)
+// one of the definition's own parameters.
+func (in *Instance) closed() bool {
+	known := map[string]bool{}
+	for n := range in.DB {
+		known[n] = true
+	}
+	switch {
+	case in.Expr != nil:
+		for _, r := range algebra.FreeRels(in.Expr) {
+			if !known[r] {
+				return false
+			}
+		}
+	case in.Core != nil:
+		for _, d := range in.Core.Defs {
+			known[d.Name] = true
+		}
+		for _, d := range in.Core.Defs {
+			params := map[string]bool{}
+			for _, p := range d.Params {
+				params[p] = true
+			}
+			for _, r := range algebra.FreeRels(d.Body) {
+				if !known[r] && !params[r] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// children returns the set-valued subexpressions of an expression node.
+func children(e algebra.Expr) []algebra.Expr {
+	switch v := e.(type) {
+	case algebra.Union:
+		return []algebra.Expr{v.L, v.R}
+	case algebra.Diff:
+		return []algebra.Expr{v.L, v.R}
+	case algebra.Product:
+		return []algebra.Expr{v.L, v.R}
+	case algebra.Select:
+		return []algebra.Expr{v.Of}
+	case algebra.Map:
+		return []algebra.Expr{v.Of}
+	case algebra.IFP:
+		return []algebra.Expr{v.Body}
+	case algebra.Flip:
+		return []algebra.Expr{v.E}
+	case algebra.Call:
+		return v.Args
+	default:
+		return nil
+	}
+}
+
+// rebuild reconstructs an expression node with replaced children, in the
+// same order children returned them.
+func rebuild(e algebra.Expr, kids []algebra.Expr) algebra.Expr {
+	switch v := e.(type) {
+	case algebra.Union:
+		return algebra.Union{L: kids[0], R: kids[1]}
+	case algebra.Diff:
+		return algebra.Diff{L: kids[0], R: kids[1]}
+	case algebra.Product:
+		return algebra.Product{L: kids[0], R: kids[1]}
+	case algebra.Select:
+		return algebra.Select{Of: kids[0], Var: v.Var, Test: v.Test}
+	case algebra.Map:
+		return algebra.Map{Of: kids[0], Var: v.Var, Out: v.Out}
+	case algebra.IFP:
+		return algebra.IFP{Var: v.Var, Body: kids[0]}
+	case algebra.Flip:
+		return algebra.Flip{E: kids[0]}
+	case algebra.Call:
+		return algebra.Call{Name: v.Name, Args: kids}
+	default:
+		return e
+	}
+}
+
+// countNodes counts the set-valued nodes of an expression; literal sets
+// additionally count their elements, so replacing a literal by EMPTY is a
+// strict reduction.
+func countNodes(e algebra.Expr) int {
+	if l, ok := e.(algebra.Lit); ok {
+		return 1 + l.Set.Len()
+	}
+	n := 1
+	for _, k := range children(e) {
+		n += countNodes(k)
+	}
+	return n
+}
+
+// exprCandidates returns all one-step reductions of an expression: the node
+// itself replaced by one of its children or by EMPTY, or the same reduction
+// applied at any subexpression.
+func exprCandidates(e algebra.Expr) []algebra.Expr {
+	kids := children(e)
+	out := append([]algebra.Expr{}, kids...)
+	if l, isLit := e.(algebra.Lit); !isLit || l.Set.Len() > 0 {
+		out = append(out, algebra.EmptyLit)
+	}
+	for i, k := range kids {
+		for _, kc := range exprCandidates(k) {
+			nk := append([]algebra.Expr{}, kids...)
+			nk[i] = kc
+			out = append(out, rebuild(e, nk))
+		}
+	}
+	return out
+}
+
+// dbCandidates returns copies of the database with one element removed, in
+// sorted relation order.
+func dbCandidates(db algebra.DB) []algebra.DB {
+	names := make([]string, 0, len(db))
+	for n := range db {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []algebra.DB
+	for _, n := range names {
+		for _, el := range db[n].Elems() {
+			nd := algebra.DB{}
+			for k, s := range db {
+				nd[k] = s
+			}
+			nd[n] = db[n].Diff(value.NewSet(el))
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// coreCandidates returns one-step reductions of an algebra= program: a
+// definition dropped, or one definition body reduced.
+func coreCandidates(p *core.Program) []*core.Program {
+	var out []*core.Program
+	for i := range p.Defs {
+		q := &core.Program{Defs: append(append([]core.Def{}, p.Defs[:i]...), p.Defs[i+1:]...)}
+		out = append(out, q)
+	}
+	for i, d := range p.Defs {
+		for _, bc := range exprCandidates(d.Body) {
+			defs := append([]core.Def{}, p.Defs...)
+			defs[i] = core.Def{Name: d.Name, Params: d.Params, Body: bc}
+			out = append(out, &core.Program{Defs: defs})
+		}
+	}
+	return out
+}
+
+// dlogCandidates returns one-step reductions of a deductive program: a rule
+// (or fact) dropped, or one body literal dropped. Candidates that violate
+// Definition 4.1 safety are filtered here so every oracle sees well-formed
+// programs.
+func dlogCandidates(p *datalog.Program) []*datalog.Program {
+	var out []*datalog.Program
+	add := func(q *datalog.Program) {
+		if datalog.CheckProgramSafe(q) == nil {
+			out = append(out, q)
+		}
+	}
+	for i := range p.Rules {
+		add(&datalog.Program{Rules: append(append([]datalog.Rule{}, p.Rules[:i]...), p.Rules[i+1:]...)})
+	}
+	for i, r := range p.Rules {
+		for j := range r.Body {
+			body := append(append([]datalog.Literal{}, r.Body[:j]...), r.Body[j+1:]...)
+			rules := append([]datalog.Rule{}, p.Rules...)
+			rules[i] = datalog.Rule{Head: r.Head, Body: body}
+			add(&datalog.Program{Rules: rules})
+		}
+	}
+	return out
+}

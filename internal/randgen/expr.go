@@ -1,0 +1,279 @@
+package randgen
+
+import (
+	"strconv"
+
+	"algrec/internal/algebra"
+	"algrec/internal/core"
+	"algrec/internal/value"
+)
+
+// shape is the element type of a set-valued expression: plain integers or
+// pairs of integers. Tracking it during generation is what makes the output
+// well-kinded — σ tests and MAP bodies only project fields that exist and
+// only do arithmetic on integers.
+type shape uint8
+
+const (
+	shInt shape = iota
+	shPair
+)
+
+// scopeEntry is one named set visible to an expression: a database relation,
+// a defined constant, or an enclosing IFP variable, with its element shape.
+type scopeEntry struct {
+	name string
+	sh   shape
+}
+
+// ExprInstance is a generated database plus an expression over it.
+type ExprInstance struct {
+	DB   algebra.DB
+	Expr algebra.Expr
+}
+
+// CoreInstance is a generated database plus an algebra= program over it.
+type CoreInstance struct {
+	DB   algebra.DB
+	Prog *core.Program
+}
+
+// exprGen holds the per-instance generation state: the active integer domain
+// [0, n) and a counter for fresh IFP variable names.
+type exprGen struct {
+	g    *Gen
+	n    int // integer constants range over [0, n)
+	vars int
+}
+
+func (x *exprGen) fresh() string {
+	x.vars++
+	return "v" + strconv.Itoa(x.vars)
+}
+
+// randInt returns a random integer value in the active domain.
+func (x *exprGen) randInt() value.Value { return value.Int(int64(x.g.intn(x.n))) }
+
+// randElem returns a random element of the given shape.
+func (x *exprGen) randElem(sh shape) value.Value {
+	if sh == shPair {
+		return value.Pair(x.randInt(), x.randInt())
+	}
+	return x.randInt()
+}
+
+// randSet returns a random set of elements of the given shape, possibly
+// empty (empty relations are a prime source of edge cases).
+func (x *exprGen) randSet(sh shape) value.Set {
+	k := x.g.intn(2 * x.g.cfg.Size)
+	elems := make([]value.Value, 0, k)
+	for i := 0; i < k; i++ {
+		elems = append(elems, x.randElem(sh))
+	}
+	return value.NewSet(elems...)
+}
+
+// db generates a database of two integer-shaped and two pair-shaped
+// relations, returning it with the matching scope.
+func (x *exprGen) db() (algebra.DB, []scopeEntry) {
+	db := algebra.DB{}
+	var scope []scopeEntry
+	for _, e := range []scopeEntry{{"a", shInt}, {"b", shInt}, {"e", shPair}, {"f", shPair}} {
+		db[e.name] = x.randSet(e.sh)
+		scope = append(scope, e)
+	}
+	return db, scope
+}
+
+// leaf emits a depth-0 expression: a scoped relation of the wanted shape
+// when one exists (usually), otherwise a literal set.
+func (x *exprGen) leaf(sh shape, scope []scopeEntry) algebra.Expr {
+	var names []string
+	for _, e := range scope {
+		if e.sh == sh {
+			names = append(names, e.name)
+		}
+	}
+	if len(names) > 0 && !x.g.chance(4) {
+		return algebra.Rel{Name: names[x.g.intn(len(names))]}
+	}
+	return algebra.Lit{Set: x.randSet(sh)}
+}
+
+// test generates a selection test over an element variable of the shape.
+func (x *exprGen) test(sh shape, v string, depth int) algebra.FExpr {
+	elem := func() algebra.FExpr {
+		if sh == shPair {
+			return algebra.FField{Of: algebra.FVar{Name: v}, Idx: 1 + x.g.intn(2)}
+		}
+		return algebra.FVar{Name: v}
+	}
+	atom := func() algebra.FExpr {
+		op := algebra.CmpOp(x.g.intn(6))
+		switch x.g.intn(3) {
+		case 0: // compare against a constant
+			return algebra.FCmp{Op: op, L: elem(), R: algebra.FConst{V: x.randInt()}}
+		case 1: // parity test: elem % 2 = 0
+			return algebra.FCmp{Op: algebra.OpEq,
+				L: algebra.FArith{Op: algebra.OpMod, L: elem(), R: algebra.FConst{V: value.Int(2)}},
+				R: algebra.FConst{V: value.Int(0)}}
+		default: // compare two projections (or the variable against itself)
+			return algebra.FCmp{Op: op, L: elem(), R: elem()}
+		}
+	}
+	if depth <= 0 || !x.g.chance(3) {
+		return atom()
+	}
+	l, r := x.test(sh, v, depth-1), x.test(sh, v, depth-1)
+	switch x.g.intn(3) {
+	case 0:
+		return algebra.FAnd{L: l, R: r}
+	case 1:
+		return algebra.FOr{L: l, R: r}
+	default:
+		return algebra.FNot{E: l}
+	}
+}
+
+// out generates a MAP body restructuring an element of shape from into an
+// element of shape to. All arithmetic is reduced mod a small constant, so
+// mapped sets stay inside a finite domain and fixpoints converge.
+func (x *exprGen) out(from, to shape, v string) algebra.FExpr {
+	c := algebra.FConst{V: value.Int(int64(1 + x.g.intn(x.n)))}
+	modc := func(e algebra.FExpr) algebra.FExpr {
+		return algebra.FArith{Op: algebra.OpMod, L: e, R: algebra.FConst{V: value.Int(int64(x.n))}}
+	}
+	var fst, snd algebra.FExpr
+	if from == shPair {
+		fst = algebra.FField{Of: algebra.FVar{Name: v}, Idx: 1}
+		snd = algebra.FField{Of: algebra.FVar{Name: v}, Idx: 2}
+	} else {
+		fst, snd = algebra.FVar{Name: v}, algebra.FVar{Name: v}
+	}
+	comp := func() algebra.FExpr {
+		switch x.g.intn(4) {
+		case 0:
+			return fst
+		case 1:
+			return snd
+		case 2:
+			return modc(algebra.FArith{Op: algebra.OpPlus, L: fst, R: c})
+		default:
+			return modc(algebra.FArith{Op: algebra.OpPlus, L: fst, R: snd})
+		}
+	}
+	if to == shPair {
+		return algebra.FTuple{Elems: []algebra.FExpr{comp(), comp()}}
+	}
+	return comp()
+}
+
+// expr generates an expression of the given shape with the given remaining
+// depth over the scope.
+func (x *exprGen) expr(sh shape, depth int, scope []scopeEntry) algebra.Expr {
+	if depth <= 0 || x.g.chance(6) {
+		return x.leaf(sh, scope)
+	}
+	// Operator weights: binary set operators and σ dominate; × only builds
+	// pairs; IFP appears often enough to exercise every fixpoint path.
+	for {
+		switch x.g.intn(7) {
+		case 0:
+			return algebra.Union{L: x.expr(sh, depth-1, scope), R: x.expr(sh, depth-1, scope)}
+		case 1:
+			return algebra.Diff{L: x.expr(sh, depth-1, scope), R: x.expr(sh, depth-1, scope)}
+		case 2:
+			if sh != shPair {
+				continue
+			}
+			return algebra.Product{L: x.expr(shInt, depth-1, scope), R: x.expr(shInt, depth-1, scope)}
+		case 3:
+			v := x.fresh()
+			return algebra.Select{Of: x.expr(sh, depth-1, scope), Var: v, Test: x.test(sh, v, 1)}
+		case 4:
+			from := shape(x.g.intn(2))
+			v := x.fresh()
+			return algebra.Map{Of: x.expr(from, depth-1, scope), Var: v, Out: x.out(from, sh, v)}
+		case 5:
+			v := x.fresh()
+			inner := append(append([]scopeEntry{}, scope...), scopeEntry{v, sh})
+			return algebra.IFP{Var: v, Body: x.expr(sh, depth-1, inner)}
+		default:
+			return x.leaf(sh, scope)
+		}
+	}
+}
+
+// newExprGen starts per-instance state: the integer domain scales with the
+// size budget.
+func (g *Gen) newExprGen() *exprGen {
+	return &exprGen{g: g, n: 2 + g.intn(1+g.cfg.Size)}
+}
+
+// depth returns the expression depth budget for the configured size.
+func (g *Gen) depth() int { return 2 + g.cfg.Size/2 }
+
+// ExprInstance generates a database and a well-kinded expression over it, of
+// a random element shape. Expressions may contain IFP (including non-positive
+// bodies — IFP is inflationary regardless) but no Call and no Flip.
+func (g *Gen) ExprInstance() *ExprInstance {
+	x := g.newExprGen()
+	db, scope := x.db()
+	return &ExprInstance{DB: db, Expr: x.expr(shape(g.intn(2)), g.depth(), scope)}
+}
+
+// IFPExprInstance generates a database and an expression guaranteed to
+// contain at least one IFP operator: the top level is an IFP whose body is
+// generated normally. This is the instance family for the Theorem 3.5
+// elimination oracle, where the IFP operator is the whole point.
+func (g *Gen) IFPExprInstance() *ExprInstance {
+	x := g.newExprGen()
+	db, scope := x.db()
+	sh := shape(g.intn(2))
+	v := x.fresh()
+	inner := append(append([]scopeEntry{}, scope...), scopeEntry{v, sh})
+	e := algebra.IFP{Var: v, Body: x.expr(sh, g.depth()-1, inner)}
+	return &ExprInstance{DB: db, Expr: e}
+}
+
+// CoreInstance generates a database and an algebra= program over it: a block
+// of mutually recursive 0-ary defined constants (with positive and negative
+// cross-references — subtraction of a defined constant is what makes the
+// valid semantics interesting), plus occasionally a parameterized macro
+// definition called from a constant body, exercising Inline. With allowFlip,
+// leaf references are occasionally wrapped in the Flip polarity annotation,
+// stressing the scheduled engine's monotonicity fallback; pass false for
+// oracles that translate the program (translation reads Flip as identity, so
+// annotated programs are not comparable across that boundary).
+func (g *Gen) CoreInstance(allowFlip bool) *CoreInstance {
+	x := g.newExprGen()
+	db, scope := x.db()
+	k := 1 + g.intn(1+g.cfg.Size/2)
+	defs := make([]scopeEntry, k)
+	for i := range defs {
+		defs[i] = scopeEntry{"s" + strconv.Itoa(i), shape(g.intn(2))}
+	}
+	full := append(append([]scopeEntry{}, scope...), defs...)
+
+	prog := &core.Program{}
+	var macro *core.Def
+	if g.cfg.Size >= 2 && g.chance(3) {
+		// A non-recursive unary macro over its parameter and the database.
+		body := algebra.Union{L: algebra.Rel{Name: "par"}, R: x.expr(shInt, 2, scope)}
+		macro = &core.Def{Name: "m", Params: []string{"par"}, Body: body}
+	}
+	for _, d := range defs {
+		body := x.expr(d.sh, g.depth(), full)
+		if macro != nil && d.sh == shInt && g.chance(3) {
+			body = algebra.Union{L: body, R: algebra.Call{Name: "m", Args: []algebra.Expr{x.expr(shInt, 1, full)}}}
+		}
+		if allowFlip && g.chance(4) {
+			body = algebra.Union{L: body, R: algebra.Flip{E: x.leaf(d.sh, full)}}
+		}
+		prog.Defs = append(prog.Defs, core.Def{Name: d.name, Body: body})
+	}
+	if macro != nil {
+		prog.Defs = append(prog.Defs, *macro)
+	}
+	return &CoreInstance{DB: db, Prog: prog}
+}

@@ -1,0 +1,78 @@
+package randgen
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the pinned-instance golden files")
+
+// renderInstances renders the full instance stream for one seed as a stable
+// text document: the expression instance (database then expression), the
+// core instance, and one program per Datalog kind, in generation order.
+// Database relations print in sorted name order so the rendering is
+// deterministic even though DB is a map.
+func renderInstances(seed int64) string {
+	g := New(seed, Config{Size: 3})
+	var sb strings.Builder
+	ei := g.ExprInstance()
+	sb.WriteString("== expr instance\n")
+	names := make([]string, 0, len(ei.DB))
+	for n := range ei.DB {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%s = %s\n", n, ei.DB[n])
+	}
+	fmt.Fprintf(&sb, "expr: %s\n", ei.Expr)
+	ci := g.CoreInstance(true)
+	sb.WriteString("== core instance\n")
+	names = names[:0]
+	for n := range ci.DB {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%s = %s\n", n, ci.DB[n])
+	}
+	sb.WriteString(ci.Prog.String())
+	for _, kind := range []DatalogKind{DlogPositive, DlogStratified, DlogFree} {
+		fmt.Fprintf(&sb, "== datalog %v\n", kind)
+		sb.WriteString(g.Datalog(kind).String())
+	}
+	return sb.String()
+}
+
+// TestPinnedInstances pins the exact generated instances for a few seeds
+// against committed golden files. A refactor of the generator that changes
+// its output for a given seed re-rolls every committed fuzz corpus entry —
+// this test makes that visible and deliberate (regenerate with -update)
+// instead of silent.
+func TestPinnedInstances(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		got := renderInstances(seed)
+		path := filepath.Join("testdata", fmt.Sprintf("pin-seed%d.golden", seed))
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed %d: %v (run `go test ./internal/randgen -run TestPinnedInstances -update` after a deliberate generator change)", seed, err)
+		}
+		if got != string(want) {
+			t.Errorf("seed %d: generated instances changed; the fuzz corpora silently re-rolled.\nIf the generator change is deliberate, refresh with -update and re-commit the corpora.\n got:\n%s\nwant:\n%s", seed, got, want)
+		}
+	}
+}

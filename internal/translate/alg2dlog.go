@@ -22,6 +22,17 @@ import (
 type algTranslator struct {
 	prog *datalog.Program
 	n    int
+
+	// Staged mode (algebraToDatalogStaged): each IFP operator is
+	// step-indexed individually, per Proposition 5.2, instead of relying on
+	// the inflationary reading of flat recursion. idx holds the index
+	// variables of the enclosing IFPs; indexed records how many of those
+	// leading index arguments each introduced predicate carries.
+	staged  bool
+	bound   int64
+	idx     []datalog.Var
+	indexed map[string]int
+	hasDom  bool
 }
 
 func (t *algTranslator) fresh() string {
@@ -29,7 +40,67 @@ func (t *algTranslator) fresh() string {
 	return "e" + strconv.Itoa(t.n) + "_"
 }
 
+// freshAt introduces a predicate carrying the current index prefix.
+func (t *algTranslator) freshAt() string {
+	p := t.fresh()
+	if len(t.idx) > 0 {
+		t.indexed[p] = len(t.idx)
+	}
+	return p
+}
+
 func (t *algTranslator) addRule(r datalog.Rule) { t.prog.Rules = append(t.prog.Rules, r) }
+
+// atom builds an atom over pred with the element term, prepending the index
+// prefix the predicate carries. Outside staged mode this is a plain unary
+// atom.
+func (t *algTranslator) atom(pred string, elem datalog.Term) datalog.Atom {
+	d := t.indexed[pred]
+	args := make([]datalog.Term, 0, d+1)
+	for _, iv := range t.idx[:d] {
+		args = append(args, iv)
+	}
+	args = append(args, elem)
+	return datalog.Atom{Pred: pred, Args: args}
+}
+
+func (t *algTranslator) pos(pred string, elem datalog.Term) datalog.Literal {
+	return datalog.LitAtom{Atom: t.atom(pred, elem)}
+}
+
+func (t *algTranslator) neg(pred string, elem datalog.Term) datalog.Literal {
+	return datalog.LitAtom{Neg: true, Atom: t.atom(pred, elem)}
+}
+
+// stagedIdxDom is the index-domain predicate of staged translations: one
+// fact per step index, binding index variables that the rule body does not
+// bind otherwise.
+const stagedIdxDom = "idxdom_"
+
+// guardIdx appends index-domain atoms binding every enclosing index
+// variable, making staged rules safe regardless of what the body binds.
+func (t *algTranslator) guardIdx(body []datalog.Literal) []datalog.Literal {
+	if len(t.idx) == 0 {
+		return body
+	}
+	if !t.hasDom {
+		t.hasDom = true
+		for i := int64(0); i <= t.bound; i++ {
+			t.addRule(datalog.Rule{Head: datalog.Atom{Pred: stagedIdxDom, Args: []datalog.Term{datalog.CInt(i)}}})
+		}
+	}
+	out := make([]datalog.Literal, 0, len(body)+len(t.idx))
+	for _, iv := range t.idx {
+		out = append(out, datalog.LitAtom{Atom: datalog.Atom{Pred: stagedIdxDom, Args: []datalog.Term{iv}}})
+	}
+	return append(out, body...)
+}
+
+// chainRule emits one rule of a subexpression predicate: index prefix on the
+// head, index-domain guards on the body.
+func (t *algTranslator) chainRule(pred string, head datalog.Term, body ...datalog.Literal) {
+	t.addRule(datalog.Rule{Head: t.atom(pred, head), Body: t.guardIdx(body)})
+}
 
 // AlgebraToDatalog translates an algebra or IFP-algebra expression into a
 // deductive program whose predicate result holds exactly the elements of the
@@ -98,9 +169,9 @@ func (t *algTranslator) translate(e algebra.Expr, env map[string]string) (string
 		}
 		return ee.Name, nil
 	case algebra.Lit:
-		p := t.fresh()
+		p := t.freshAt()
 		for _, v := range ee.Set.Elems() {
-			t.addRule(datalog.Rule{Head: datalog.Atom{Pred: p, Args: []datalog.Term{datalog.C(v)}}})
+			t.chainRule(p, datalog.C(v))
 		}
 		return p, nil
 	case algebra.Union:
@@ -112,9 +183,9 @@ func (t *algTranslator) translate(e algebra.Expr, env map[string]string) (string
 		if err != nil {
 			return "", err
 		}
-		p := t.fresh()
-		t.addRule(datalog.Rule{Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}}, Body: []datalog.Literal{datalog.Pos(l, x)}})
-		t.addRule(datalog.Rule{Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}}, Body: []datalog.Literal{datalog.Pos(r, x)}})
+		p := t.freshAt()
+		t.chainRule(p, x, t.pos(l, x))
+		t.chainRule(p, x, t.pos(r, x))
 		return p, nil
 	case algebra.Diff:
 		// The Flip-annotated anti-join — Diff(L, π₁(σ(Flip(L) × Q))), the
@@ -138,14 +209,8 @@ func (t *algTranslator) translate(e algebra.Expr, env map[string]string) (string
 			if err != nil {
 				return "", err
 			}
-			p := t.fresh()
-			t.addRule(datalog.Rule{
-				Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}},
-				Body: []datalog.Literal{
-					datalog.Pos(pl, x),
-					datalog.LitAtom{Neg: true, Atom: datalog.Atom{Pred: pq, Args: []datalog.Term{rowTerm}}},
-				},
-			})
+			p := t.freshAt()
+			t.chainRule(p, x, t.pos(pl, x), t.neg(pq, rowTerm))
 			return p, nil
 		}
 		l, err := t.translate(ee.L, env)
@@ -156,12 +221,9 @@ func (t *algTranslator) translate(e algebra.Expr, env map[string]string) (string
 		if err != nil {
 			return "", err
 		}
-		p := t.fresh()
+		p := t.freshAt()
 		// "E1 − E2 is represented by a rule R1(x), ¬R2(x) → R(x)."
-		t.addRule(datalog.Rule{
-			Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}},
-			Body: []datalog.Literal{datalog.Pos(l, x), datalog.Neg(r, x)},
-		})
+		t.chainRule(p, x, t.pos(l, x), t.neg(r, x))
 		return p, nil
 	case algebra.Product:
 		l, err := t.translate(ee.L, env)
@@ -172,11 +234,8 @@ func (t *algTranslator) translate(e algebra.Expr, env map[string]string) (string
 		if err != nil {
 			return "", err
 		}
-		p := t.fresh()
-		t.addRule(datalog.Rule{
-			Head: datalog.Atom{Pred: p, Args: []datalog.Term{datalog.Apply{Fn: "tup", Args: []datalog.Term{x, y}}}},
-			Body: []datalog.Literal{datalog.Pos(l, x), datalog.Pos(r, y)},
-		})
+		p := t.freshAt()
+		t.chainRule(p, datalog.Apply{Fn: "tup", Args: []datalog.Term{x, y}}, t.pos(l, x), t.pos(r, y))
 		return p, nil
 	case algebra.Select:
 		of, err := t.translate(ee.Of, env)
@@ -187,14 +246,8 @@ func (t *algTranslator) translate(e algebra.Expr, env map[string]string) (string
 		if err != nil {
 			return "", err
 		}
-		p := t.fresh()
-		t.addRule(datalog.Rule{
-			Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}},
-			Body: []datalog.Literal{
-				datalog.Pos(of, x),
-				datalog.Cmp(datalog.OpEq, test, datalog.C(value.True)),
-			},
-		})
+		p := t.freshAt()
+		t.chainRule(p, x, t.pos(of, x), datalog.Cmp(datalog.OpEq, test, datalog.C(value.True)))
 		return p, nil
 	case algebra.Map:
 		of, err := t.translate(ee.Of, env)
@@ -205,16 +258,16 @@ func (t *algTranslator) translate(e algebra.Expr, env map[string]string) (string
 		if err != nil {
 			return "", err
 		}
-		p := t.fresh()
-		t.addRule(datalog.Rule{
-			Head: datalog.Atom{Pred: p, Args: []datalog.Term{y}},
-			Body: []datalog.Literal{datalog.Pos(of, x), datalog.Cmp(datalog.OpEq, y, out)},
-		})
+		p := t.freshAt()
+		t.chainRule(p, y, t.pos(of, x), datalog.Cmp(datalog.OpEq, y, out))
 		return p, nil
 	case algebra.IFP:
+		if t.staged {
+			return t.translateIFPStaged(ee, env)
+		}
 		// "A fixed point expression IFP_exp is translated by first
 		// translating exp and then introducing recursion in the deduction."
-		p := t.fresh()
+		p := t.freshAt()
 		inner := map[string]string{}
 		for k, v := range env {
 			inner[k] = v
@@ -224,10 +277,7 @@ func (t *algTranslator) translate(e algebra.Expr, env map[string]string) (string
 		if err != nil {
 			return "", err
 		}
-		t.addRule(datalog.Rule{
-			Head: datalog.Atom{Pred: p, Args: []datalog.Term{x}},
-			Body: []datalog.Literal{datalog.Pos(b, x)},
-		})
+		t.chainRule(p, x, t.pos(b, x))
 		return p, nil
 	case algebra.Flip:
 		// The fact-level valid semantics is already exact; the polarity
@@ -238,6 +288,81 @@ func (t *algTranslator) translate(e algebra.Expr, env map[string]string) (string
 	default:
 		panic(fmt.Sprintf("translate: unknown Expr %T", e))
 	}
+}
+
+// translateIFPStaged is the staged-mode IFP case: Proposition 5.2's
+// step-index transformation applied to this one operator. The accumulator
+// predicate ps carries one more index argument than its surroundings; the
+// body is translated with the IFP variable bound to ps, so within one index
+// every body predicate reads the accumulator frozen at that index and the
+// program stays locally stratified — the valid semantics then replays the
+// inflationary iteration exactly, committing none of the transient
+// subtraction over-approximations the flat translation commits under the
+// inflationary reading.
+func (t *algTranslator) translateIFPStaged(ee algebra.IFP, env map[string]string) (string, error) {
+	x := datalog.Var("X")
+	p := t.freshAt()
+	ps := t.fresh()
+	t.indexed[ps] = len(t.idx) + 1
+	iv := datalog.Var("I" + strconv.Itoa(len(t.idx)+1) + "__")
+	t.idx = append(t.idx, iv)
+	inner := map[string]string{}
+	for k, v := range env {
+		inner[k] = v
+	}
+	inner[ee.Var] = ps
+	b, err := t.translate(ee.Body, inner)
+	if err != nil {
+		return "", err
+	}
+	succ := datalog.Apply{Fn: "plus", Args: []datalog.Term{iv, datalog.CInt(1)}}
+	guard := datalog.Cmp(datalog.OpLt, iv, datalog.CInt(t.bound))
+	outer := make([]datalog.Term, 0, len(t.idx)+1)
+	for _, v := range t.idx[:len(t.idx)-1] {
+		outer = append(outer, v)
+	}
+	// Step: ps(ī, i+1, x) ← body-at-i(x), i < bound.
+	t.addRule(datalog.Rule{
+		Head: datalog.Atom{Pred: ps, Args: append(append([]datalog.Term{}, outer...), succ, x)},
+		Body: t.guardIdx([]datalog.Literal{t.pos(b, x), guard}),
+	})
+	// Accumulate: ps(ī, i+1, x) ← ps(ī, i, x), i < bound.
+	t.addRule(datalog.Rule{
+		Head: datalog.Atom{Pred: ps, Args: append(append([]datalog.Term{}, outer...), succ, x)},
+		Body: t.guardIdx([]datalog.Literal{t.pos(ps, x), guard}),
+	})
+	t.idx = t.idx[:len(t.idx)-1]
+	// Project the converged index: p(ī, x) ← ps(ī, bound, x).
+	t.chainRule(p, x, datalog.LitAtom{Atom: datalog.Atom{
+		Pred: ps, Args: append(append([]datalog.Term{}, outer...), datalog.CInt(t.bound), x),
+	}})
+	return p, nil
+}
+
+// algebraToDatalogStaged is AlgebraToDatalog with every IFP operator
+// step-indexed up to bound iterations (Proposition 5.2 applied per
+// operator): the resulting program is locally stratified, and its valid
+// model computes the expression's value exactly — in result and in every
+// chain predicate. bound must be at least the iteration count of every IFP
+// in the expression on the intended database; extra index steps are
+// harmless (the accumulator just carries its fixpoint forward).
+func algebraToDatalogStaged(e algebra.Expr, result string, env map[string]string, bound int64) (*datalog.Program, error) {
+	t := &algTranslator{prog: &datalog.Program{}, staged: true, bound: bound, indexed: map[string]int{}}
+	full := map[string]string{}
+	for k, v := range env {
+		full[k] = v
+	}
+	p, err := t.translate(e, full)
+	if err != nil {
+		return nil, err
+	}
+	x := datalog.Var("X")
+	t.addRule(datalog.Rule{
+		Head: datalog.Atom{Pred: result, Args: []datalog.Term{x}},
+		Body: []datalog.Literal{datalog.Pos(p, x)},
+	})
+	emitTranslate("alg2dlog-staged", t.n, len(t.prog.Rules), int(bound))
+	return t.prog, nil
 }
 
 // fexprToTerm compiles an element-level expression to a deductive term over

@@ -49,8 +49,19 @@ func StableSets(p *core.Program, db algebra.DB, maxUndef int) ([]map[string]valu
 
 // WellFoundedSets evaluates an algebra= program under the well-founded
 // reading via the deductive translation, returning certain and possible
-// bounds per defined set. On this repository's corpus it coincides with
-// core.EvalValid — that agreement is tested, mirroring the paper's remark.
+// bounds per defined set. On programs with positive IFP bodies and no
+// recursive name under a double subtrahend, it coincides with
+// core.EvalValid — that agreement is differentially fuzzed
+// (internal/diffcheck, core-wellfounded oracle), mirroring the paper's
+// remark. Two fuzzer-found boundaries limit the equivalence: a non-monotone
+// IFP translates to flat recursion p ← E[v:=p], which matches the
+// inflationary operator only for positive bodies (counterexample:
+// ifp(v, diff(a, v))); and a recursive name under two subtrahends, e.g.
+// def s = diff(m, diff(a, s)), is positive for the exact-set algebra but
+// stays doubly negated through the translation's auxiliary predicate, whose
+// three-valued well-founded evaluation leaves m∖a-elements undefined where
+// the native alternation makes them certain. Unknown relation names are
+// read as empty relations rather than rejected.
 func WellFoundedSets(p *core.Program, db algebra.DB) (lower, upper map[string]value.Set, err error) {
 	q, g, err := programToGround(p, db)
 	if err != nil {

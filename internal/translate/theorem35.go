@@ -5,8 +5,7 @@ import (
 
 	"algrec/internal/algebra"
 	"algrec/internal/core"
-	"algrec/internal/datalog/ground"
-	"algrec/internal/semantics"
+	"algrec/internal/obsv"
 )
 
 // EliminateIFP realizes Theorem 3.5 (IFP-algebra ⊂ algebra=) constructively,
@@ -35,22 +34,29 @@ import (
 // database-independent because its programs may be infinite.
 func EliminateIFP(e algebra.Expr, db algebra.DB) (*core.Program, algebra.DB, string, error) {
 	const result = "ifpresult"
-	// (1) Proposition 5.1.
-	dlog, err := AlgebraToDatalog(e, result, nil)
+	// Bound for (2): the largest iteration count any IFP in the expression
+	// reaches on this database, observed by evaluating the expression once
+	// with an instrumented collector.
+	bound, err := ifpIterBound(e, db)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("translate: bounding the step index: %w", err)
+	}
+	// (1)+(2) Propositions 5.1 and 5.2, with the step-index transformation
+	// applied to each IFP operator individually. Indexing the flat
+	// translation as a whole would replay the inflationary fixpoint of the
+	// *flat* rule set, which also replays its transient subtraction
+	// over-approximations — a diff whose subtrahend needs several rounds to
+	// converge fires too early under flat inflationary rounds, and
+	// inflationary derivation is never retracted. Per-operator indexing
+	// keeps every subexpression at a frozen accumulator index, so the valid
+	// model replays the hierarchical evaluation exactly.
+	dlog, err := algebraToDatalogStaged(e, result, nil, bound)
 	if err != nil {
 		return nil, nil, "", err
 	}
 	dlog.AddFacts(DBFacts(db)...)
-	// Bound for (2): the inflationary step count on this database.
-	g, err := ground.Ground(dlog, ground.Budget{})
-	if err != nil {
-		return nil, nil, "", fmt.Errorf("translate: bounding the step index: %w", err)
-	}
-	_, steps := semantics.NewEngine(g).Inflationary()
-	// (2) Proposition 5.2.
-	indexed := StepIndex(dlog, int64(steps)+1)
 	// (3) Proposition 6.1.
-	cp, cdb, err := DatalogToCore(indexed)
+	cp, cdb, err := DatalogToCore(dlog)
 	if err != nil {
 		return nil, nil, "", err
 	}
@@ -60,6 +66,35 @@ func EliminateIFP(e algebra.Expr, db algebra.DB) (*core.Program, algebra.DB, str
 			return nil, nil, "", fmt.Errorf("translate: internal error: IFP survived elimination in %q", d.Name)
 		}
 	}
-	emitTranslate("elimifp", len(dlog.Rules), len(cp.Defs), steps+1)
+	emitTranslate("elimifp", len(dlog.Rules), len(cp.Defs), int(bound))
 	return cp, cdb, result, nil
+}
+
+// maxRoundsCollector records the largest IFP round count seen during one
+// instrumented evaluation.
+type maxRoundsCollector struct {
+	obsv.Nop
+	max int
+}
+
+// IFP implements obsv.Collector.
+func (m *maxRoundsCollector) IFP(s obsv.IFPStats) {
+	if s.Rounds > m.max {
+		m.max = s.Rounds
+	}
+}
+
+// ifpIterBound evaluates the expression once, recording every IFP fixpoint's
+// round count, and returns a step bound sufficient for all of them. Nested
+// IFPs report once per enclosing round, so the maximum covers every
+// accumulator state the staged program can reach: indices past an operator's
+// convergence only carry its fixpoint forward.
+func ifpIterBound(e algebra.Expr, db algebra.DB) (int64, error) {
+	ev := algebra.NewEvaluator(db, algebra.Budget{})
+	mr := &maxRoundsCollector{}
+	ev.SetCollector(mr)
+	if _, err := ev.Eval(e); err != nil {
+		return 0, err
+	}
+	return int64(mr.max) + 1, nil
 }

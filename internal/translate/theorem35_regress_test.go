@@ -1,0 +1,67 @@
+package translate
+
+import (
+	"testing"
+
+	"algrec/internal/algebra"
+	"algrec/internal/core"
+	"algrec/internal/value"
+)
+
+// These cases were found by the differential fuzzer (internal/diffcheck,
+// oracle expr-ifp-elim): the original EliminateIFP applied Proposition 5.2's
+// step-index transformation to the whole flat translation, replaying the
+// inflationary fixpoint of the flat rule set. A subtraction whose subtrahend
+// needs more than one flat round to converge then fires too early, and the
+// inflationary reading never retracts the spurious derivation. The staged
+// per-IFP indexing evaluates every subexpression at a frozen accumulator
+// index, restoring the hierarchical semantics.
+func TestEliminateIFPStagedSubtraction(t *testing.T) {
+	a, b, c := algebra.Rel{Name: "a"}, algebra.Rel{Name: "b"}, algebra.Rel{Name: "c"}
+	db := algebra.DB{
+		"a": value.NewSet(value.Int(0), value.Int(1), value.Int(2)),
+		"b": value.NewSet(value.Int(0)),
+		"c": value.NewSet(value.Int(2)),
+	}
+	cases := []struct {
+		name string
+		e    algebra.Expr
+	}{
+		// The original fuzzer witness, shrunk: the subtrahend is an IFP, so
+		// it converges one flat round after the diff rule first fires.
+		{"diff-over-ifp", algebra.IFP{Var: "v", Body: algebra.Diff{L: a, R: algebra.IFP{Var: "w", Body: b}}}},
+		// Same failure without any nested IFP: a union chain already delays
+		// the subtrahend by one round.
+		{"diff-over-union", algebra.IFP{Var: "v", Body: algebra.Diff{L: a, R: algebra.Union{L: b, R: c}}}},
+		// A non-monotone body: the IFP variable itself is the subtrahend.
+		// Only the step-indexed form has a total valid model here.
+		{"non-monotone-body", algebra.IFP{Var: "v", Body: algebra.Diff{L: a, R: algebra.Rel{Name: "v"}}}},
+		// Nesting with the outer variable read inside the inner fixpoint.
+		{"nested-shared-var", algebra.IFP{Var: "v", Body: algebra.Diff{
+			L: algebra.IFP{Var: "w", Body: algebra.Union{L: algebra.Rel{Name: "v"}, R: b}},
+			R: c,
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := algebra.NewEvaluator(db, algebra.Budget{}).Eval(tc.e)
+			if err != nil {
+				t.Fatalf("direct eval: %v", err)
+			}
+			cp, cdb, result, err := EliminateIFP(tc.e, db)
+			if err != nil {
+				t.Fatalf("EliminateIFP: %v", err)
+			}
+			res, err := core.EvalValid(cp, cdb, algebra.Budget{})
+			if err != nil {
+				t.Fatalf("EvalValid: %v", err)
+			}
+			if !res.IsTotal(result) {
+				t.Fatalf("eliminated program is three-valued on %q: undef %v", result, res.UndefElems(result))
+			}
+			if got := res.Set(result); !value.Equal(got, want) {
+				t.Fatalf("eliminated value %v, direct value %v", got, want)
+			}
+		})
+	}
+}

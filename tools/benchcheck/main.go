@@ -1,0 +1,99 @@
+// Command benchcheck compares a fresh cmd/bench -json record against the
+// committed baseline (BENCH_baseline.json) and reports per-experiment
+// regressions: a suite that stopped passing, disappeared from the run, or
+// slowed down past the tolerance factor. Wall-clock on shared CI runners is
+// noisy, so the default tolerance is generous (3x) and the CI job that runs
+// this check is advisory (continue-on-error) — the annotations surface the
+// trend without blocking a merge on a noisy neighbor.
+//
+// Usage:
+//
+//	benchcheck [-baseline BENCH_baseline.json] [-tol 3.0] current.json
+//
+// Under GitHub Actions (GITHUB_ACTIONS=true) regressions are emitted as
+// ::warning workflow annotations; elsewhere as plain lines. Exit status: 0
+// when every suite is within tolerance, 1 on any regression, 2 on usage or
+// read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"algrec/internal/expt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, os.Getenv("GITHUB_ACTIONS") == "true"))
+}
+
+func run(args []string, stdout, stderr io.Writer, gh bool) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "BENCH_baseline.json", "committed baseline record")
+	tol := fs.Float64("tol", 3.0, "wall-clock slowdown factor that counts as a regression")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: benchcheck [-baseline path] [-tol factor] current.json")
+		return 2
+	}
+	base, err := expt.LoadRecord(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcheck:", err)
+		return 2
+	}
+	cur, err := expt.LoadRecord(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcheck:", err)
+		return 2
+	}
+	if base.Scale != cur.Scale {
+		fmt.Fprintf(stderr, "benchcheck: scale mismatch: baseline ran -scale %d, current -scale %d\n", base.Scale, cur.Scale)
+		return 2
+	}
+
+	warn := func(format, plain string, a ...any) {
+		if gh {
+			fmt.Fprintf(stdout, "::warning title=bench regression::"+format+"\n", a...)
+		} else {
+			fmt.Fprintf(stdout, plain+"\n", a...)
+		}
+	}
+	curByID := map[string]expt.RecordSuite{}
+	for _, s := range cur.Suites {
+		curByID[s.ID] = s
+	}
+	regressions := 0
+	for _, b := range base.Suites {
+		c, ok := curByID[b.ID]
+		switch {
+		case !ok:
+			regressions++
+			warn("%s (%s) missing from the current run",
+				"REGRESSION %s (%s): missing from the current run", b.ID, b.Title)
+		case b.OK && !c.OK:
+			regressions++
+			warn("%s (%s) stopped passing",
+				"REGRESSION %s (%s): stopped passing", b.ID, b.Title)
+		case b.WallNS > 0 && float64(c.WallNS) > *tol*float64(b.WallNS):
+			regressions++
+			ratio := float64(c.WallNS) / float64(b.WallNS)
+			warn("%s (%s) wall %.1fx baseline (%v -> %v)",
+				"REGRESSION %s (%s): wall %.1fx baseline (%v -> %v)",
+				b.ID, b.Title, ratio,
+				time.Duration(b.WallNS).Round(time.Millisecond),
+				time.Duration(c.WallNS).Round(time.Millisecond))
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "benchcheck: %d regression(s) against %s (tolerance %.1fx)\n", regressions, *baseline, *tol)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchcheck: %d suites within %.1fx of %s\n", len(base.Suites), *tol, *baseline)
+	return 0
+}

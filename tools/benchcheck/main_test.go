@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"algrec/internal/expt"
+)
+
+// writeRecord marshals a record into dir and returns its path.
+func writeRecord(t *testing.T, dir, name string, rec *expt.Record) string {
+	t.Helper()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func suite(id string, ok bool, wallNS int64) expt.RecordSuite {
+	return expt.RecordSuite{ID: id, Title: "experiment " + id, OK: ok, WallNS: wallNS}
+}
+
+func TestWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRecord(t, dir, "base.json", &expt.Record{Scale: 1,
+		Suites: []expt.RecordSuite{suite("E1", true, 100), suite("E2", true, 200)}})
+	cur := writeRecord(t, dir, "cur.json", &expt.Record{Scale: 1,
+		Suites: []expt.RecordSuite{suite("E1", true, 250), suite("E2", true, 90)}})
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", base, cur}, &out, &errb, false); code != 0 {
+		t.Fatalf("want exit 0, got %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "within 3.0x") {
+		t.Errorf("missing summary:\n%s", out.String())
+	}
+}
+
+func TestRegressionKinds(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRecord(t, dir, "base.json", &expt.Record{Scale: 1, Suites: []expt.RecordSuite{
+		suite("SLOW", true, 100), suite("BROKE", true, 100), suite("GONE", true, 100)}})
+	cur := writeRecord(t, dir, "cur.json", &expt.Record{Scale: 1, Suites: []expt.RecordSuite{
+		suite("SLOW", true, 1000), suite("BROKE", false, 100)}})
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", base, cur}, &out, &errb, false); code != 1 {
+		t.Fatalf("want exit 1, got %d:\n%s%s", code, out.String(), errb.String())
+	}
+	for _, want := range []string{"SLOW", "10.0x", "BROKE", "stopped passing", "GONE", "missing", "3 regression(s)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGitHubAnnotations(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRecord(t, dir, "base.json", &expt.Record{Scale: 1,
+		Suites: []expt.RecordSuite{suite("E1", true, 100)}})
+	cur := writeRecord(t, dir, "cur.json", &expt.Record{Scale: 1,
+		Suites: []expt.RecordSuite{suite("E1", true, 5000)}})
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", base, cur}, &out, &errb, true); code != 1 {
+		t.Fatalf("want exit 1, got %d", code)
+	}
+	if !strings.Contains(out.String(), "::warning title=bench regression::") {
+		t.Errorf("missing workflow annotation:\n%s", out.String())
+	}
+}
+
+func TestUsageAndMismatch(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb, false); code != 2 {
+		t.Errorf("no args: want exit 2, got %d", code)
+	}
+	dir := t.TempDir()
+	base := writeRecord(t, dir, "base.json", &expt.Record{Scale: 1})
+	cur := writeRecord(t, dir, "cur.json", &expt.Record{Scale: 4})
+	if code := run([]string{"-baseline", base, cur}, &out, &errb, false); code != 2 {
+		t.Errorf("scale mismatch: want exit 2, got %d", code)
+	}
+	if code := run([]string{"-baseline", filepath.Join(dir, "nope.json"), cur}, &out, &errb, false); code != 2 {
+		t.Errorf("missing baseline: want exit 2, got %d", code)
+	}
+}
