@@ -1,5 +1,5 @@
 # Tier-1 verification: everything CI gates on.
-.PHONY: all check race bench bench-delta bench-check fuzz-smoke test vet lint docs-fresh build clean
+.PHONY: all check race bench bench-delta bench-check fuzz-smoke test test-server serve vet lint docs-fresh build clean
 
 all: check
 
@@ -15,12 +15,23 @@ vet:
 test:
 	go test ./...
 
+# test-server runs just the serving stack: the query compiler shared by the
+# CLIs and the daemon, the HTTP service (e2e matrix, singleflight,
+# eviction, cancellation, drain), and the three front-ends' golden tests.
+test-server:
+	go test ./internal/query ./internal/server ./cmd/algrecd ./cmd/algq ./cmd/dlog
+
+# serve starts the query daemon on the default address (:8372) with the
+# bundled example graph registered as database "g". See docs/server.md.
+serve:
+	go run ./cmd/algrecd -db g=internal/server/testdata/graph.alg
+
 # lint gates documentation: every package needs a package doc comment, and
 # the theorem-bearing packages (semantics, translate) plus the delta-engine
 # packages (algebra, core) must document every exported declaration.
 # doccheck is stdlib-only (tools/doccheck).
 lint: vet
-	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/core,internal/randgen,internal/diffcheck .
+	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server .
 
 # docs-fresh regenerates EXPERIMENTS.md's tables from the committed record
 # (internal/expt/recorded/run.json) and fails if the committed document was
@@ -31,11 +42,13 @@ docs-fresh:
 
 # race exercises the packages with internal parallelism (the StableModels
 # worker pool, the sharded experiment runner, the core scheduler's stratum
-# worker pool, and the observability collectors shared across all of them)
+# worker pool, the observability collectors shared across all of them, and
+# the query server's plan cache — singleflight compilation, LRU eviction
+# and graceful drain are each hammered by concurrent clients in its tests)
 # under the race detector; diffcheck rides along because its clean-sweep
 # test drives every engine from parallel subtests.
 race:
-	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/randgen ./internal/diffcheck
+	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/randgen ./internal/diffcheck ./internal/server ./internal/query
 
 # bench runs the full benchmark suite once per target (see also cmd/bench).
 bench:

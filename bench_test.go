@@ -1,5 +1,5 @@
 // Benchmarks: one testing.B target per experiment in DESIGN.md's
-// per-experiment index (E1–E11, P1–P6, ablations A1–A4), plus
+// per-experiment index (E1–E11, P1–P7, ablations A1–A4), plus
 // micro-benchmarks of the individual engines. The experiment functions themselves verify agreement
 // (they are also run as tests in internal/expt); here they are measured.
 package algrec_test
@@ -119,6 +119,13 @@ func BenchmarkP6DeltaIFP(b *testing.B) {
 
 func BenchmarkA4SemiNaiveAblation(b *testing.B) {
 	runSuite(b, func() (*expt.Table, error) { return expt.RunA4([]int{24}) })
+}
+
+// BenchmarkP7PlanCache runs the server-mode benchmark at one size; the
+// acceptance bar for the serving layer is the cached column beating the
+// cold-compile one by >= 5x on the inline-literal closure workload.
+func BenchmarkP7PlanCache(b *testing.B) {
+	runSuite(b, func() (*expt.Table, error) { return expt.RunP7([]int{1500}) })
 }
 
 // Micro-benchmarks of the individual engines.

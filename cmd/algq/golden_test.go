@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGolden pins the CLI's stdout bit-for-bit on the committed example
+// workloads: the shared pipeline extraction (internal/query) must not change
+// a single byte of output. Regenerate with:
+//
+//	go build -o /tmp/algq ./cmd/algq && /tmp/algq <flags> <input> > <golden>
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"tc.valid.golden", []string{"testdata/tc.alg"}},
+		{"tc.inflationary.golden", []string{"-inflationary", "testdata/tc.alg"}},
+		{"wingame.valid.golden", []string{"testdata/wingame.alg"}},
+		{"wingame.stable.golden", []string{"-stable", "testdata/wingame.alg"}},
+		{"wincycle.valid.golden", []string{"-defs", "testdata/wincycle.alg"}},
+		{"wincycle.stable.golden", []string{"-stable", "testdata/wincycle.alg"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			if err := run(tc.args, strings.NewReader(""), &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("output diverged from %s:\n got:\n%s\nwant:\n%s", tc.golden, out.String(), want)
+			}
+		})
+	}
+}

@@ -28,10 +28,7 @@ import (
 	"io"
 	"os"
 
-	"algrec/internal/algebra"
-	"algrec/internal/algebra/parse"
-	"algrec/internal/core"
-	"algrec/internal/translate"
+	"algrec/internal/query"
 )
 
 func main() {
@@ -53,105 +50,26 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *inflationary && *stable {
 		return fmt.Errorf("-inflationary and -stable are mutually exclusive")
 	}
-
-	src, err := readInput(fs.Arg(0), stdin)
-	if err != nil {
-		return err
-	}
-	script, err := parse.ParseScript(src)
-	if err != nil {
-		return err
-	}
-
+	sem := query.SemValid
 	switch {
-	case *stable:
-		models, err := translate.StableSets(script.Program, script.DB, *maxUndef)
-		if err != nil {
-			return err
-		}
-		if len(models) == 0 {
-			fmt.Fprintln(stdout, "% no stable readings")
-			return nil
-		}
-		for i, m := range models {
-			fmt.Fprintf(stdout, "%% stable reading %d of %d\n", i+1, len(models))
-			for _, d := range script.Program.Defs {
-				if len(d.Params) == 0 {
-					fmt.Fprintf(stdout, "%s = %s\n", d.Name, m[d.Name])
-				}
-			}
-		}
-		return nil
 	case *inflationary:
-		sets, err := core.EvalInflationary(script.Program, script.DB, algebra.Budget{})
-		if err != nil {
-			return err
-		}
-		if *defs || len(script.Queries) == 0 {
-			for _, d := range script.Program.Defs {
-				if len(d.Params) > 0 {
-					continue
-				}
-				fmt.Fprintf(stdout, "%s = %s\n", d.Name, sets[d.Name])
-			}
-		}
-		for _, q := range script.Queries {
-			db := script.DB.Clone()
-			for name, s := range sets {
-				db[name] = s
-			}
-			got, err := algebra.Eval(q.Expr, db)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(stdout, "%s = %s\n", q.Src, got)
-		}
-		return nil
+		sem = query.SemInflationary
+	case *stable:
+		sem = query.SemStable
 	}
 
-	res, err := core.EvalValid(script.Program, script.DB, algebra.Budget{})
+	src, err := query.ReadInput(fs.Arg(0), stdin)
 	if err != nil {
 		return err
 	}
-	if !res.WellDefined() {
-		fmt.Fprintln(stdout, "% warning: the program is not well defined on this database (no initial valid model);")
-		fmt.Fprintln(stdout, "% undefined memberships are reported per set below")
+	plan, err := query.Compile(query.LangAlgebraEq, sem, src)
+	if err != nil {
+		return err
 	}
-	if *defs || len(script.Queries) == 0 {
-		for _, d := range script.Program.Defs {
-			if len(d.Params) > 0 {
-				continue
-			}
-			fmt.Fprintf(stdout, "%s = %s", d.Name, res.Set(d.Name))
-			if u := res.UndefElems(d.Name); !u.IsEmpty() {
-				fmt.Fprintf(stdout, "  %% undefined: %s", u)
-			}
-			fmt.Fprintln(stdout)
-		}
+	out, err := query.Execute(plan, nil, query.Options{MaxUndef: *maxUndef})
+	if err != nil {
+		return err
 	}
-	for _, q := range script.Queries {
-		lo, err := res.QueryLower(q.Expr)
-		if err != nil {
-			return err
-		}
-		up, err := res.QueryUpper(q.Expr)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "%s = %s", q.Src, lo)
-		if diff := up.Diff(lo); !diff.IsEmpty() {
-			fmt.Fprintf(stdout, "  %% undefined: %s", diff)
-		}
-		fmt.Fprintln(stdout)
-	}
+	query.WriteAlgqText(stdout, out, *defs)
 	return nil
-}
-
-func readInput(path string, stdin io.Reader) (string, error) {
-	if path == "" || path == "-" {
-		b, err := io.ReadAll(stdin)
-		return string(b), err
-	}
-	b, err := os.ReadFile(path)
-	return string(b), err
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDBFlags(t *testing.T) {
+	var d dbFlags
+	if err := d.Set("g=graph.alg"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if len(d) != 1 || d[0].name != "g" || d[0].path != "graph.alg" {
+		t.Fatalf("d = %+v", d)
+	}
+	for _, bad := range []string{"nopath", "=x", "x="} {
+		if err := d.Set(bad); err == nil {
+			t.Errorf("Set(%q) should fail", bad)
+		}
+	}
+	if d.String() == "" {
+		t.Error("String() should describe the flag")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-db", "g=/nonexistent/graph.alg"}); err == nil {
+		t.Error("missing database file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.alg")
+	if err := os.WriteFile(bad, []byte(`def d = d;`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-db", "g=" + bad})
+	if err == nil || !strings.Contains(err.Error(), "rel statements") {
+		t.Errorf("a program is not a database: %v", err)
+	}
+}

@@ -1,4 +1,4 @@
-// Command bench runs the experiment suite (DESIGN.md's E1–E11, P1–P6 and
+// Command bench runs the experiment suite (DESIGN.md's E1–E11, P1–P7 and
 // A1–A4) and prints one table per experiment. With -markdown the output is
 // the GitHub-flavored markdown recorded in EXPERIMENTS.md. With -parallel
 // independent suites and workload sizes run concurrently on a

@@ -23,11 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
-	"algrec/internal/datalog"
-	"algrec/internal/datalog/ground"
-	"algrec/internal/semantics"
+	"algrec/internal/query"
 )
 
 func main() {
@@ -46,78 +43,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	src, err := readInput(fs.Arg(0), stdin)
-	if err != nil {
-		return err
-	}
-	p, err := datalog.ParseProgram(src)
+	sem, err := query.ParseSemantics(*semName)
 	if err != nil {
 		return err
 	}
 
-	if *semName == "stable" {
-		g, err := ground.Ground(p, ground.Budget{})
-		if err != nil {
-			return err
-		}
-		models, err := semantics.NewEngine(g).StableModels(*maxUndef)
-		if err != nil {
-			return err
-		}
-		if len(models) == 0 {
-			fmt.Fprintln(stdout, "% no stable models")
-			return nil
-		}
-		for i, m := range models {
-			fmt.Fprintf(stdout, "%% stable model %d of %d\n", i+1, len(models))
-			printInterp(stdout, p, m, *pred, false)
-		}
-		return nil
-	}
-
-	sem, err := semantics.ParseSemantics(*semName)
+	src, err := query.ReadInput(fs.Arg(0), stdin)
 	if err != nil {
 		return err
 	}
-	in, err := semantics.Eval(p, sem, ground.Budget{})
+	plan, err := query.Compile(query.LangDatalog, sem, src)
 	if err != nil {
 		return err
 	}
-	printInterp(stdout, p, in, *pred, *undef)
+	out, err := query.Execute(plan, nil, query.Options{MaxUndef: *maxUndef})
+	if err != nil {
+		return err
+	}
+	query.WriteDlogText(stdout, out, *pred, *undef)
 	return nil
-}
-
-func printInterp(w io.Writer, p *datalog.Program, in *semantics.Interp, pred string, undef bool) {
-	preds := p.IDB()
-	if pred != "" {
-		preds = []string{pred}
-	}
-	sort.Strings(preds)
-	for _, q := range preds {
-		for _, f := range in.TrueFacts(q) {
-			fmt.Fprintln(w, f.Key()+".")
-		}
-	}
-	if undef {
-		any := false
-		for _, q := range preds {
-			for _, f := range in.UndefFacts(q) {
-				fmt.Fprintln(w, "% undefined: "+f.Key())
-				any = true
-			}
-		}
-		if !any {
-			fmt.Fprintln(w, "% undefined: (none)")
-		}
-	}
-}
-
-func readInput(path string, stdin io.Reader) (string, error) {
-	if path == "" || path == "-" {
-		b, err := io.ReadAll(stdin)
-		return string(b), err
-	}
-	b, err := os.ReadFile(path)
-	return string(b), err
 }

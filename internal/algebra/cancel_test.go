@@ -1,0 +1,55 @@
+package algebra
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"algrec/internal/value"
+)
+
+// divergentIFP is an IFP whose fixpoint is infinite: ifp(s, union({0}, map(s, x+1))).
+func divergentIFP() Expr {
+	return IFP{Var: "s", Body: Union{
+		L: Lit{Set: value.NewSet(value.Int(0))},
+		R: Map{Of: Rel{Name: "s"}, Var: "x", Out: FArith{Op: OpPlus, L: FVar{Name: "x"}, R: FConst{V: value.Int(1)}}},
+	}}
+}
+
+func TestInterruptStopsDivergentIFP(t *testing.T) {
+	ch := make(chan struct{})
+	close(ch)
+	ev := NewEvaluator(DB{}, Budget{Interrupt: ch})
+	_, err := ev.Eval(divergentIFP())
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestInterruptFiresMidFixpoint(t *testing.T) {
+	ch := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		ev := NewEvaluator(DB{}, Budget{MaxIFPIters: 1 << 30, MaxSetSize: 1 << 30, Interrupt: ch})
+		_, err := ev.Eval(divergentIFP())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(ch)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("want ErrCanceled, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("evaluation did not stop within 10s of the interrupt")
+	}
+}
+
+func TestNoInterruptIsFree(t *testing.T) {
+	// A nil Interrupt must not change results: the win-game fixpoint of the
+	// paper's Example 3 still converges.
+	if err := (Budget{}).Stop(); err != nil {
+		t.Fatalf("nil Interrupt reported %v", err)
+	}
+}

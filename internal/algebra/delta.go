@@ -103,6 +103,9 @@ func RunIFP(varName string, outer map[string]value.Set, budget Budget, useDelta 
 		if iter >= budget.MaxIFPIters {
 			return value.Set{}, fmt.Errorf("%w: IFP did not converge within %d iterations (the fixed point may be an infinite set)", ErrBudget, budget.MaxIFPIters)
 		}
+		if err := budget.Stop(); err != nil {
+			return value.Set{}, err
+		}
 		inner := make(map[string]value.Set, len(outer)+1)
 		for k, v := range outer {
 			if k != varName {

@@ -26,6 +26,13 @@ type Budget struct {
 	// WithDefaults ORs in DefaultBudget.NoSemiNaive, so cmd/bench
 	// -noseminaive can disable the engine process-wide.
 	NoSemiNaive bool
+	// Interrupt, when non-nil, is polled between fixpoint rounds (never
+	// inside one): once the channel is closed, evaluation stops with an
+	// error wrapping ErrCanceled. Callers with a context map ctx.Done()
+	// here, which turns a deadline or client disconnect into a structured
+	// outcome instead of a wedged evaluation. Round granularity bounds the
+	// reaction time by the cost of one body evaluation.
+	Interrupt <-chan struct{}
 }
 
 // DefaultBudget is used for zero-valued Budget fields.
@@ -50,6 +57,25 @@ func (b Budget) WithDefaults() Budget {
 
 // ErrBudget is wrapped by all budget-exhaustion errors from evaluation.
 var ErrBudget = errors.New("algebra: evaluation budget exceeded")
+
+// ErrCanceled is wrapped by errors reporting that evaluation stopped because
+// Budget.Interrupt fired (a timeout or an explicit cancellation).
+var ErrCanceled = errors.New("algebra: evaluation canceled")
+
+// Stop returns a non-nil error wrapping ErrCanceled once Interrupt has
+// fired, and nil otherwise (including when no Interrupt is set). Fixpoint
+// loops call it once per round.
+func (b Budget) Stop() error {
+	if b.Interrupt == nil {
+		return nil
+	}
+	select {
+	case <-b.Interrupt:
+		return fmt.Errorf("%w (interrupt fired during a fixpoint round)", ErrCanceled)
+	default:
+		return nil
+	}
+}
 
 // DB is a database: named finite sets ("a collection of named sets (every
 // set is a database 'relation')").

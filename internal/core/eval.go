@@ -252,6 +252,9 @@ func gammaNaive(p *Program, db algebra.DB, neg map[string]value.Set, budget alge
 		if round >= budget.MaxIFPIters {
 			return nil, fmt.Errorf("%w: defining equations did not reach a fixpoint within %d rounds", algebra.ErrBudget, budget.MaxIFPIters)
 		}
+		if err := budget.Stop(); err != nil {
+			return nil, err
+		}
 		ctr.round(len(p.Defs), len(p.Defs), 1)
 		changed := false
 		for _, d := range p.Defs {
@@ -294,6 +297,9 @@ func gammaScheduled(sched *schedule, p *Program, db algebra.DB, neg map[string]v
 		for round := 0; len(active) > 0; round++ {
 			if round >= budget.MaxIFPIters {
 				return nil, fmt.Errorf("%w: defining equations did not reach a fixpoint within %d rounds", algebra.ErrBudget, budget.MaxIFPIters)
+			}
+			if err := budget.Stop(); err != nil {
+				return nil, err
 			}
 			results, workers, err := evalRound(de, p.Defs, active)
 			if err != nil {
@@ -355,6 +361,9 @@ func EvalValid(p *Program, db algebra.DB, budget algebra.Budget) (*Result, error
 	for round := 0; ; round++ {
 		if round >= budget.MaxIFPIters {
 			return nil, fmt.Errorf("%w: valid-model alternation did not converge within %d rounds", algebra.ErrBudget, budget.MaxIFPIters)
+		}
+		if err := budget.Stop(); err != nil {
+			return nil, err
 		}
 		u, err = gamma(t)
 		if err != nil {
@@ -421,6 +430,9 @@ func EvalInflationary(p *Program, db algebra.DB, budget algebra.Budget) (map[str
 		if round >= budget.MaxIFPIters {
 			return nil, fmt.Errorf("%w: inflationary evaluation did not converge within %d rounds", algebra.ErrBudget, budget.MaxIFPIters)
 		}
+		if err := budget.Stop(); err != nil {
+			return nil, err
+		}
 		de := &dualEvaluator{db: db, pos: cur, neg: cur, budget: budget, obs: obs}
 		results, workers, err := evalRound(de, q.Defs, active)
 		if err != nil {
@@ -464,6 +476,9 @@ func evalInflationaryNaive(q *Program, db algebra.DB, budget algebra.Budget, obs
 	for round := 0; ; round++ {
 		if round >= budget.MaxIFPIters {
 			return nil, fmt.Errorf("%w: inflationary evaluation did not converge within %d rounds", algebra.ErrBudget, budget.MaxIFPIters)
+		}
+		if err := budget.Stop(); err != nil {
+			return nil, err
 		}
 		de := &dualEvaluator{db: db, pos: cur, neg: cur, budget: budget, obs: obs}
 		next := map[string]value.Set{}

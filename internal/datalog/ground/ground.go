@@ -18,6 +18,7 @@
 package ground
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -32,6 +33,10 @@ import (
 type Budget struct {
 	MaxAtoms int // maximum number of distinct ground atoms (0 = default)
 	MaxRules int // maximum number of distinct ground rules (0 = default)
+	// Interrupt, when non-nil, is polled between (rule, pass) enumerations:
+	// once the channel is closed, grounding stops with an error wrapping
+	// ErrCanceled. Callers with a context map ctx.Done() here.
+	Interrupt <-chan struct{}
 }
 
 // DefaultBudget is used for zero-valued Budget fields.
@@ -56,6 +61,24 @@ type BudgetError struct {
 // Error implements error.
 func (e *BudgetError) Error() string {
 	return fmt.Sprintf("ground: budget exceeded: more than %d %s; the program may define an infinite relation", e.Limit, e.What)
+}
+
+// ErrCanceled is wrapped by errors reporting that grounding stopped because
+// Budget.Interrupt fired (a timeout or an explicit cancellation).
+var ErrCanceled = errors.New("ground: grounding canceled")
+
+// stop returns a non-nil error wrapping ErrCanceled once Interrupt has
+// fired, and nil otherwise (including when no Interrupt is set).
+func (b Budget) stop() error {
+	if b.Interrupt == nil {
+		return nil
+	}
+	select {
+	case <-b.Interrupt:
+		return fmt.Errorf("%w (interrupt fired between rule enumerations)", ErrCanceled)
+	default:
+		return nil
+	}
 }
 
 // Rule is a propositional ground rule over atom ids.
@@ -542,6 +565,9 @@ func Ground(p *datalog.Program, budget Budget) (*Program, error) {
 		if or.plan.NumPos > 0 {
 			continue
 		}
+		if err := g.budget.stop(); err != nil {
+			return nil, err
+		}
 		if err := g.enumerate(or, 0, bind, &posIDs, nil, -1); err != nil {
 			return nil, err
 		}
@@ -570,6 +596,9 @@ func Ground(p *datalog.Program, budget Budget) (*Program, error) {
 		for _, or := range ordered {
 			if or.plan.NumPos == 0 {
 				continue
+			}
+			if err := g.budget.stop(); err != nil {
+				return nil, err
 			}
 			for d := 0; d < or.plan.NumPos; d++ {
 				// Every complete match must use a last-pass atom at the delta

@@ -1,0 +1,159 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"time"
+
+	"algrec/internal/server"
+)
+
+// serverTCChain is the number of nodes in the chain graph whose transitive
+// closure the P7 query computes.
+const serverTCChain = 8
+
+// serverTCQuery builds an ifp-algebra query that computes the transitive
+// closure of an 8-node chain and subtracts an inline exclusion list: the
+// pairs reachable from the first node plus m filler pairs. Inlining a large
+// constant list into an otherwise small recursive query is the classic
+// plan-cache workload — the client bakes its parameters into the text, so
+// compilation (lexing, parsing, and materializing the literal into a set)
+// dominates the per-request cost, while evaluation only probes the small
+// closure against the already-materialized set.
+func serverTCQuery(m int) string {
+	var ed strings.Builder
+	for i := 0; i < serverTCChain-1; i++ {
+		if i > 0 {
+			ed.WriteString(", ")
+		}
+		fmt.Fprintf(&ed, "(a%d, a%d)", i, i+1)
+	}
+	edges := ed.String()
+	var ex strings.Builder
+	for i := 1; i < serverTCChain; i++ {
+		if i > 1 {
+			ex.WriteString(", ")
+		}
+		fmt.Fprintf(&ex, "(a0, a%d)", i)
+	}
+	for i := 0; i < m; i++ {
+		fmt.Fprintf(&ex, ", (x%d, y%d)", i, i)
+	}
+	return fmt.Sprintf(
+		`diff(ifp(s, union({%s}, map(select(product(s, {%s}), \p -> p.1.2 = p.2.1), \p -> (p.1.1, p.2.2)))), {%s})`,
+		edges, edges, ex.String())
+}
+
+// serveTC stands up an in-process query service with the given plan-cache
+// capacity, issues one warm-up request plus n timed requests for the same
+// transitive-closure query, and returns the total wall time of the timed
+// requests, the result value, and the number of plan compilations the
+// server performed. Requests are driven straight into the handler
+// (httptest.ResponseRecorder), so the measurement covers the full service
+// path — routing, body decode, cache, evaluation, response encode —
+// without loopback-TCP noise.
+func serveTC(src string, n, cacheCap int) (time.Duration, string, int64, error) {
+	s := server.New(server.Config{CacheCap: cacheCap})
+	h := s.Handler()
+	body, err := json.Marshal(map[string]any{
+		"language": "ifp-algebra", "semantics": "valid", "query": src,
+	})
+	if err != nil {
+		return 0, "", 0, err
+	}
+	post := func() (*httptest.ResponseRecorder, error) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return nil, fmt.Errorf("expt: P7 query failed with status %d", rec.Code)
+		}
+		return rec, nil
+	}
+	// Warm-up request: decode the full response once to capture the result
+	// value for the cold/cached agreement check. The timed loop below only
+	// checks the status — client-side response decoding is measurement
+	// overhead, not server work.
+	rec, err := post()
+	if err != nil {
+		return 0, "", 0, err
+	}
+	var out struct {
+		Result struct {
+			Value string `json:"value"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+		return 0, "", 0, err
+	}
+	value := out.Result.Value
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := post(); err != nil {
+			return 0, "", 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	return elapsed, value, s.Stats().Snapshot()["server.compiles"], nil
+}
+
+// RunP7 measures the serving layer's plan cache: requests/sec for the same
+// transitive-closure query against a server with the compiled-plan LRU
+// enabled (one compile, then cache hits) versus one with caching disabled
+// (cold compile on every request). Everything else — HTTP surface,
+// evaluation, JSON rendering — is identical, so the speedup isolates what
+// plan reuse buys a resident service over the CLIs' compile-per-invocation
+// behavior.
+func RunP7(sizes []int) (*Table, error) {
+	t := &Table{ID: "P7", Title: "server plan cache: cached vs cold-compiled requests/sec (performance)", OK: true,
+		Header: []string{"workload", "requests", "coldCompiles", "cold req/s", "cached req/s", "speedup", "agree"}}
+	const reqs = 30
+	const reps = 5
+	for _, m := range sizes {
+		src := serverTCQuery(m)
+		var dCold, dCached time.Duration
+		var vCold, vCached string
+		var coldCompiles int64
+		var err error
+		run := func(cacheCap int) (time.Duration, string, int64) {
+			var best time.Duration
+			var val string
+			var compiles int64
+			for i := 0; i < reps; i++ {
+				var d time.Duration
+				d, val, compiles, err = serveTC(src, reqs, cacheCap)
+				if err != nil {
+					return 0, "", 0
+				}
+				if best == 0 || d < best {
+					best = d
+				}
+			}
+			return best, val, compiles
+		}
+		dCold, vCold, coldCompiles = run(-1)
+		if err != nil {
+			return nil, err
+		}
+		dCached, vCached, _ = run(0)
+		if err != nil {
+			return nil, err
+		}
+		agree := vCold == vCached && vCold != ""
+		if !agree {
+			t.OK = false
+		}
+		rps := func(d time.Duration) string {
+			return fmt.Sprintf("%.0f", float64(reqs)/d.Seconds())
+		}
+		t.Add(fmt.Sprintf("tcText(%d)", m), reqs, int(coldCompiles), rps(dCold), rps(dCached), speedup(dCold, dCached), agree)
+	}
+	return t, nil
+}

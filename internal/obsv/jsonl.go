@@ -58,3 +58,6 @@ func (j *JSONL) Translate(s TranslateStats) { j.emit("translate", s) }
 
 // Experiment implements Collector.
 func (j *JSONL) Experiment(s ExperimentStats) { j.emit("experiment", s) }
+
+// Server implements Collector.
+func (j *JSONL) Server(s ServerStats) { j.emit("server", s) }

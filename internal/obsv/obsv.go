@@ -143,6 +143,38 @@ type TranslateStats struct {
 	Steps int
 }
 
+// ServerStats describes one HTTP request completed by the resident query
+// service (internal/server): the route, the query's language and semantics,
+// the structured outcome, how the request interacted with the compiled-plan
+// cache, and its wall time. One event per request, emitted from the
+// handler's epilogue.
+type ServerStats struct {
+	// Route is the endpoint that served the request: "query", "dbs",
+	// "metrics" or "healthz".
+	Route string
+	// Language and Semantics echo the query request ("" on non-query
+	// routes and on requests rejected before decoding).
+	Language  string
+	Semantics string
+	// Code is "" for a successful request, else the structured error code
+	// of the JSON error body ("parse-error", "unknown-database",
+	// "budget-exceeded", "timeout", ...).
+	Code string
+	// CacheLookup reports that the request consulted the plan cache at
+	// all — false for requests rejected before the lookup (malformed
+	// body, unknown database, draining), so hit/miss counters only cover
+	// requests that could have hit.
+	CacheLookup bool
+	// CacheHit reports that the compiled plan was served from the LRU
+	// cache; Compiled reports that this request performed the compilation
+	// (the singleflight leader — concurrent identical queries see
+	// Compiled on exactly one request).
+	CacheHit bool
+	Compiled bool
+	// WallNS is the request's wall-clock time in nanoseconds.
+	WallNS int64
+}
+
 // ExperimentStats describes one experiment (or one shard of one) run by the
 // internal/expt harness.
 type ExperimentStats struct {
@@ -167,6 +199,7 @@ type Collector interface {
 	Ground(GroundStats)
 	Translate(TranslateStats)
 	Experiment(ExperimentStats)
+	Server(ServerStats)
 }
 
 // Nop is a Collector that discards every event. Embed it to implement only
@@ -195,6 +228,9 @@ func (Nop) Translate(TranslateStats) {}
 
 // Experiment implements Collector.
 func (Nop) Experiment(ExperimentStats) {}
+
+// Server implements Collector.
+func (Nop) Server(ServerStats) {}
 
 // multi fans events out to several collectors in order.
 type multi []Collector
@@ -257,6 +293,12 @@ func (m multi) Translate(s TranslateStats) {
 func (m multi) Experiment(s ExperimentStats) {
 	for _, c := range m {
 		c.Experiment(s)
+	}
+}
+
+func (m multi) Server(s ServerStats) {
+	for _, c := range m {
+		c.Server(s)
 	}
 }
 

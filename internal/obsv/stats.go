@@ -110,6 +110,28 @@ func (s *Stats) Experiment(e ExperimentStats) {
 	)
 }
 
+// Server implements Collector.
+func (s *Stats) Server(v ServerStats) {
+	kvs := []any{
+		"server." + v.Route + ".requests", int64(1),
+		"server.wallNS", v.WallNS,
+	}
+	if v.Code != "" {
+		kvs = append(kvs, "server.errors."+v.Code, int64(1))
+	}
+	if v.CacheLookup {
+		if v.CacheHit {
+			kvs = append(kvs, "server.cache.hits", int64(1))
+		} else {
+			kvs = append(kvs, "server.cache.misses", int64(1))
+		}
+		if v.Compiled {
+			kvs = append(kvs, "server.compiles", int64(1))
+		}
+	}
+	s.add(kvs...)
+}
+
 // Snapshot is an immutable copy of a Stats collector's counters. The
 // counter vocabulary:
 //
@@ -121,6 +143,8 @@ func (s *Stats) Experiment(e ExperimentStats) {
 //	ground.calls|atoms|rules|passes|deltaHits|deltaSkips
 //	translate.<op>.calls|inSize|outSize
 //	expt.runs|wallNS|cpuNS
+//	server.<route>.requests, server.wallNS, server.errors.<code>,
+//	server.cache.hits|misses, server.compiles
 type Snapshot map[string]int64
 
 // Snapshot returns a copy of the current counters.

@@ -42,6 +42,11 @@ type Engine struct {
 	// epilogues — never from the worklist loops — so a disabled collector
 	// costs one branch per call and an enabled one costs one event per call.
 	obs obsv.Collector
+	// intr, when non-nil, is polled between candidate windows of the
+	// stable-model search (the only engine entry point whose work is not
+	// bounded by the ground program's size): once closed, the search stops
+	// with an error wrapping ErrCanceled. See SetInterrupt.
+	intr <-chan struct{}
 }
 
 // NewEngine builds an engine for the ground program. The engine captures
@@ -94,6 +99,33 @@ func (e *Engine) Ground() *ground.Program { return e.g }
 // the one captured from obsv.Default at construction. A nil collector
 // disables observability. Not safe to call concurrently with evaluation.
 func (e *Engine) SetCollector(c obsv.Collector) { e.obs = c }
+
+// SetInterrupt attaches a cancellation channel to the engine: once ch is
+// closed, an in-progress StableModels search returns an error wrapping
+// ErrCanceled at the next candidate-window boundary. The fixpoint entry
+// points (Minimal, Inflationary, WellFounded, Valid, Stratified) are bounded
+// by the ground program's size and are not interruptible; interrupt their
+// callers at grounding time via ground.Budget.Interrupt instead. Not safe to
+// call concurrently with evaluation.
+func (e *Engine) SetInterrupt(ch <-chan struct{}) { e.intr = ch }
+
+// ErrCanceled is wrapped by errors reporting that a stable-model search
+// stopped because the channel given to SetInterrupt fired.
+var ErrCanceled = errors.New("semantics: stable-model search canceled")
+
+// stop returns a non-nil error wrapping ErrCanceled once the engine's
+// interrupt channel has fired, and nil otherwise.
+func (e *Engine) stop() error {
+	if e.intr == nil {
+		return nil
+	}
+	select {
+	case <-e.intr:
+		return fmt.Errorf("%w (interrupt fired between candidate windows)", ErrCanceled)
+	default:
+		return nil
+	}
+}
 
 // emitFixpoint reports one completed semantics computation, charging the
 // serial scratch's buffer-pool activity since the previous event.
@@ -520,6 +552,10 @@ func (e *Engine) Stratified(stratumOf map[string]int) (*Interp, error) {
 // well-founded model is larger than the caller's bound.
 var ErrTooManyUndef = errors.New("semantics: too many undefined atoms for stable-model search")
 
+// stableInterruptWindow is the number of candidate masks a stable search
+// examines between polls of the engine's interrupt channel.
+const stableInterruptWindow = 1 << 12
+
 // stableParallelThreshold is the candidate-space size below which
 // StableModels stays serial: goroutine fan-out costs more than the search.
 const stableParallelThreshold = 256
@@ -561,7 +597,15 @@ func (e *Engine) StableModelsParallel(maxUndef, workers int) ([]*Interp, error) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || total < stableParallelThreshold {
-		models := e.stableRange(&e.scr, base, undef, 0, total)
+		// Serial search: walk the mask space in windows so the interrupt is
+		// polled at a bounded interval even on 2^62-sized spaces.
+		var models []*Interp
+		for lo := uint64(0); lo < total; lo += stableInterruptWindow {
+			if err := e.stop(); err != nil {
+				return nil, err
+			}
+			models = append(models, e.stableRange(&e.scr, base, undef, lo, min(lo+stableInterruptWindow, total))...)
+		}
 		if e.obs != nil {
 			r, a := e.scr.takeCounters()
 			e.obs.StableSearch(obsv.StableSearchStats{
@@ -585,6 +629,7 @@ func (e *Engine) StableModelsParallel(maxUndef, workers int) ([]*Interp, error) 
 	// epilogue sum the workers' pool counters after the join.
 	scratches := make([]scratch, workers)
 	var cursor atomic.Uint64
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -595,13 +640,21 @@ func (e *Engine) StableModelsParallel(maxUndef, workers int) ([]*Interp, error) 
 				if c >= chunks {
 					return
 				}
-				lo := c * chunkSize
-				hi := min(lo+chunkSize, total)
-				results[c] = e.stableRange(s, base, undef, lo, hi)
+				hi := min(c*chunkSize+chunkSize, total)
+				for lo := c * chunkSize; lo < hi; lo += stableInterruptWindow {
+					if e.stop() != nil {
+						canceled.Store(true)
+						return
+					}
+					results[c] = append(results[c], e.stableRange(s, base, undef, lo, min(lo+stableInterruptWindow, hi))...)
+				}
 			}
 		}(&scratches[w])
 	}
 	wg.Wait()
+	if canceled.Load() {
+		return nil, e.stop()
+	}
 	var models []*Interp
 	for _, ms := range results {
 		models = append(models, ms...)

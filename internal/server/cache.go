@@ -1,0 +1,117 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"algrec/internal/query"
+)
+
+// cacheKey identifies one compiled plan: the exact query text under one
+// (language, semantics) pair. Two requests share a plan only when all three
+// match byte-for-byte.
+type cacheKey struct {
+	lang query.Language
+	sem  query.Semantics
+	src  string
+}
+
+// flight is one in-progress compilation. The leader closes done after
+// storing plan/err; followers block on done and share the result.
+type flight struct {
+	done chan struct{}
+	plan *query.Plan
+	err  error
+}
+
+// planCache is an LRU cache of compiled plans with singleflight
+// deduplication: concurrent requests for the same key block on one
+// compilation instead of compiling redundantly. Plans are immutable
+// (query.Plan contract), so a cached plan is shared without copying.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[cacheKey]*list.Element
+	flights map[cacheKey]*flight
+
+	// waiters counts callers currently blocked on another request's
+	// flight; testHookCompile, when set, runs in the singleflight leader
+	// right before compilation. Test instrumentation for the deterministic
+	// singleflight test: the test blocks the leader in the hook until
+	// waiters reports every concurrent request joined the flight.
+	waiters         atomic.Int32
+	testHookCompile func()
+}
+
+// cacheEntry is the LRU list payload.
+type cacheEntry struct {
+	key  cacheKey
+	plan *query.Plan
+}
+
+// newPlanCache returns a cache holding at most cap plans; cap < 1 disables
+// caching (every request compiles, singleflight still deduplicates
+// concurrent identical requests).
+func newPlanCache(cap int) *planCache {
+	return &planCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: map[cacheKey]*list.Element{},
+		flights: map[cacheKey]*flight{},
+	}
+}
+
+// get returns the compiled plan for k, compiling it at most once across
+// concurrent callers. hit reports that the plan came from the cache or from
+// another request's in-flight compilation; compiled reports that this call
+// was the singleflight leader and performed the compilation. Compile errors
+// are returned to every waiter of the flight but never cached: a later
+// request with the same bad query recompiles (and fails) afresh.
+func (c *planCache) get(k cacheKey) (plan *query.Plan, hit, compiled bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.order.MoveToFront(el)
+		p := el.Value.(*cacheEntry).plan
+		c.mu.Unlock()
+		return p, true, false, nil
+	}
+	if f, ok := c.flights[k]; ok {
+		c.mu.Unlock()
+		c.waiters.Add(1)
+		<-f.done
+		c.waiters.Add(-1)
+		return f.plan, true, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	if c.testHookCompile != nil {
+		c.testHookCompile()
+	}
+	f.plan, f.err = query.Compile(k.lang, k.sem, k.src)
+
+	c.mu.Lock()
+	delete(c.flights, k)
+	if f.err == nil && c.cap > 0 {
+		c.entries[k] = c.order.PushFront(&cacheEntry{key: k, plan: f.plan})
+		for c.order.Len() > c.cap {
+			el := c.order.Back()
+			c.order.Remove(el)
+			delete(c.entries, el.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.plan, false, true, f.err
+}
+
+// len reports the number of cached plans (not counting in-flight
+// compilations).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

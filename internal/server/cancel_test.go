@@ -1,0 +1,113 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// divergentIFP grows a set of integers forever: the fixpoint never closes,
+// so only a budget, a timeout, or an interrupt can stop it.
+const divergentIFP = `ifp(s, union({0}, map(s, \x -> x + 1)))`
+
+// TestTimeoutReturnsStructuredOutcome runs a deliberately divergent IFP
+// query under a short request deadline: the server must return the
+// structured timeout error, and must do so within a bounded wall-clock
+// (cancellation is polled every fixpoint round, so the reaction time is one
+// round, not the query's lifetime).
+func TestTimeoutReturnsStructuredOutcome(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	start := time.Now()
+	status, _, bad := postQuery(t, ts, queryRequest{
+		Language: "ifp-algebra", Query: divergentIFP, TimeoutMS: 150,
+	})
+	elapsed := time.Since(start)
+	if status != http.StatusGatewayTimeout || bad.Error.Code != codeTimeout {
+		t.Fatalf("got %d %+v, want 504 timeout", status, bad)
+	}
+	// Generous bound: the deadline is 150ms and a fixpoint round on this
+	// workload is far under a second even on a loaded CI machine.
+	if elapsed > 10*time.Second {
+		t.Fatalf("timeout took %s, the interrupt is not being polled", elapsed)
+	}
+}
+
+// TestDefaultTimeoutApplies runs the same divergent query with no request
+// timeout against a server whose default timeout is short.
+func TestDefaultTimeoutApplies(t *testing.T) {
+	_, ts := newTestServer(t, Config{DefaultTimeout: 150 * time.Millisecond})
+	status, _, bad := postQuery(t, ts, queryRequest{Language: "ifp-algebra", Query: divergentIFP})
+	if status != http.StatusGatewayTimeout || bad.Error.Code != codeTimeout {
+		t.Fatalf("got %d %+v, want 504 timeout", status, bad)
+	}
+}
+
+// TestGracefulShutdownDrains proves the drain contract deterministically:
+// a request already past the drain check runs to completion while requests
+// arriving after BeginDrain are refused with the shutting-down error, and
+// /healthz flips to draining.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	s.testHookEval = func() {
+		hookOnce.Do(func() {
+			close(inFlight)
+			<-release
+		})
+	}
+
+	type result struct {
+		status int
+		resp   queryResponse
+		bad    errorBody
+	}
+	done := make(chan result, 1)
+	go func() {
+		st, ok, bad := postQuery(t, ts, queryRequest{DB: "g", Language: "ifp-algebra", Query: tcIFP})
+		done <- result{st, ok, bad}
+	}()
+
+	<-inFlight // the request is past the drain check, blocked before eval
+	s.BeginDrain()
+
+	// New queries are refused with the structured shutting-down error.
+	status, _, bad := postQuery(t, ts, queryRequest{DB: "g", Language: "algebra", Query: "edge"})
+	if status != http.StatusServiceUnavailable || bad.Error.Code != codeShuttingDown {
+		t.Fatalf("query during drain: got %d %+v, want 503 shutting-down", status, bad)
+	}
+	// Health flips to draining so load balancers stop routing here.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", resp.StatusCode)
+	}
+
+	// The in-flight request completes normally once released.
+	close(release)
+	r := <-done
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request failed during drain: %d %+v", r.status, r.bad)
+	}
+	if r.resp.Result.Value != tcClosure {
+		t.Fatalf("in-flight request returned %q", r.resp.Result.Value)
+	}
+}
+
+// TestBudgetExceededIsStructured pins that exhausting a per-request budget
+// (rather than the deadline) yields budget-exceeded, not timeout.
+func TestBudgetExceededIsStructured(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, _, bad := postQuery(t, ts, queryRequest{
+		Language: "ifp-algebra", Query: divergentIFP,
+		Budget: &budgetJSON{MaxIFPIters: 50},
+	})
+	if status != http.StatusUnprocessableEntity || bad.Error.Code != codeBudgetExceed {
+		t.Fatalf("got %d %+v, want 422 budget-exceeded", status, bad)
+	}
+}

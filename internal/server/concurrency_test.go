@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSingleflightExactlyOneCompile proves the singleflight contract:
+// N concurrent identical queries perform exactly one compilation. The test
+// blocks the singleflight leader inside the compile hook until every other
+// request has joined the flight, so the assertion is deterministic — no
+// interleaving can produce a second compile.
+func TestSingleflightExactlyOneCompile(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const n = 16
+	release := make(chan struct{})
+	s.cache.testHookCompile = func() { <-release }
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, ok, bad := postQuery(t, ts, queryRequest{
+				DB: "g", Language: "ifp-algebra", Query: tcIFP,
+			})
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %+v", status, bad)
+				return
+			}
+			if ok.Result.Value != tcClosure {
+				errs <- fmt.Errorf("value %q", ok.Result.Value)
+			}
+		}()
+	}
+	// Release the leader only after the other n-1 requests are provably
+	// blocked on its flight; the flight stays registered until the leader
+	// finishes, so every one of them shares the single compilation.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.cache.waiters.Load() != n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests joined the flight", s.cache.waiters.Load(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := s.Stats().Snapshot()
+	if got := snap["server.compiles"]; got != 1 {
+		t.Fatalf("server.compiles = %d, want exactly 1", got)
+	}
+	if got := snap["server.cache.misses"]; got != 1 {
+		t.Fatalf("server.cache.misses = %d, want 1 (the leader)", got)
+	}
+	if got := snap["server.cache.hits"]; got != n-1 {
+		t.Fatalf("server.cache.hits = %d, want %d (the followers)", got, n-1)
+	}
+
+	// A second wave hits the now-cached plan: still exactly one compile.
+	s.cache.testHookCompile = nil
+	for i := 0; i < 4; i++ {
+		if status, _, bad := postQuery(t, ts, queryRequest{DB: "g", Language: "ifp-algebra", Query: tcIFP}); status != http.StatusOK {
+			t.Fatalf("cached query failed: %+v", bad)
+		}
+	}
+	if got := s.Stats().Snapshot()["server.compiles"]; got != 1 {
+		t.Fatalf("server.compiles after cached wave = %d, want 1", got)
+	}
+}
+
+// TestEvictionNeverServesWrongPlan hammers a capacity-1 cache with two
+// queries that evict each other; every response must carry its own query's
+// answer. Run under -race in CI, this also exercises the cache's locking.
+func TestEvictionNeverServesWrongPlan(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheCap: 1})
+	queries := []struct{ text, want string }{
+		{`union(edge, {(z, z)})`, "{(a, b), (b, c), (c, d), (z, z)}"},
+		{`diff(edge, {(a, b)})`, "{(b, c), (c, d)}"},
+	}
+	const workers = 8
+	const rounds = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				q := queries[(w+i)%2]
+				status, ok, bad := postQuery(t, ts, queryRequest{DB: "g", Language: "algebra", Query: q.text})
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("worker %d round %d: %+v", w, i, bad)
+					return
+				}
+				if ok.Result.Value != q.want {
+					errs <- fmt.Errorf("worker %d round %d: query %q got %q, want %q — wrong plan served",
+						w, i, q.text, ok.Result.Value, q.want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := s.cache.len(); n > 1 {
+		t.Fatalf("cache holds %d plans, capacity is 1", n)
+	}
+}
+
+// TestCacheLRUOrder pins the cache's eviction policy: least recently used
+// goes first, and a get refreshes recency.
+func TestCacheLRUOrder(t *testing.T) {
+	c := newPlanCache(2)
+	k := func(src string) cacheKey { return cacheKey{lang: "datalog", sem: "valid", src: src} }
+	for _, src := range []string{"a(x).", "b(x).", "a(x)."} {
+		if _, _, _, err := c.get(k(src)); err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+	}
+	// Cache is [a, b] with a most recent; inserting c evicts b.
+	if _, _, _, err := c.get(k("c(x).")); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _, _ := c.get(k("a(x).")); !hit {
+		t.Fatal("a should have survived: it was refreshed before c was inserted")
+	}
+	if _, hit, compiled, _ := c.get(k("b(x).")); hit || !compiled {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	// A compile error is returned but never cached.
+	if _, _, _, err := c.get(k("broken(")); err == nil {
+		t.Fatal("want compile error")
+	}
+	if _, hit, compiled, err := c.get(k("broken(")); err == nil || hit || !compiled {
+		t.Fatalf("a failed compile must not be cached: hit=%v compiled=%v err=%v", hit, compiled, err)
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.len())
+	}
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	"algrec/internal/algebra"
+)
+
+// registry is the in-memory store of named databases. Databases are
+// immutable once registered: Register replaces the whole value, readers get
+// the map by reference and must not mutate it (query.Execute never does).
+type registry struct {
+	mu  sync.RWMutex
+	dbs map[string]algebra.DB
+}
+
+func newRegistry() *registry {
+	return &registry{dbs: map[string]algebra.DB{}}
+}
+
+// get returns the database registered under name. The empty name is always
+// present and empty: queries that carry their own data (algebra= rel
+// statements, datalog facts) need no registered database.
+func (r *registry) get(name string) (algebra.DB, bool) {
+	if name == "" {
+		return nil, true
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	db, ok := r.dbs[name]
+	return db, ok
+}
+
+// set registers (or replaces) a database under name.
+func (r *registry) set(name string, db algebra.DB) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dbs[name] = db
+}
+
+// dbInfo is one registry entry's listing: the name and its relations with
+// cardinalities.
+type dbInfo struct {
+	Name      string         `json:"name"`
+	Relations map[string]int `json:"relations"`
+}
+
+// list returns every registered database sorted by name.
+func (r *registry) list() []dbInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]dbInfo, 0, len(r.dbs))
+	for name, db := range r.dbs {
+		info := dbInfo{Name: name, Relations: map[string]int{}}
+		for rel, set := range db {
+			info.Relations[rel] = set.Len()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

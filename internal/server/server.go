@@ -1,0 +1,545 @@
+// Package server is the resident query service behind cmd/algrecd: an
+// HTTP/JSON surface that keeps named databases in an in-memory registry and
+// evaluates algebra, ifp-algebra, algebra= and datalog queries under any of
+// the six semantics, concurrently, through the shared internal/query
+// pipeline.
+//
+// The serving machinery the one-shot CLIs lack:
+//
+//   - a compiled-plan LRU cache keyed by (language, query text, semantics)
+//     with singleflight deduplication, so identical in-flight queries
+//     compile exactly once and repeated queries skip parsing entirely;
+//   - per-request budgets (the engines' Budget types, field-wise overridable
+//     per request) plus context-based timeouts whose cancellation is polled
+//     between fixpoint rounds, so a runaway query returns a structured
+//     "budget-exceeded" or "timeout" error instead of wedging a worker;
+//   - graceful shutdown: BeginDrain makes the service refuse new work with
+//     a "shutting-down" error while in-flight requests run to completion;
+//   - observability: every request emits one obsv.ServerStats event, and
+//     /metrics exposes the server's counter snapshot.
+//
+// See docs/server.md for the HTTP API and the request/response schemas.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"algrec/internal/algebra"
+	"algrec/internal/algebra/parse"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/obsv"
+	"algrec/internal/query"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults: a 128-plan
+// cache, a 1 MiB body limit, a 30-second default timeout, and the engines'
+// default budgets.
+type Config struct {
+	// CacheCap is the compiled-plan LRU capacity (0 = default 128; negative
+	// disables caching, keeping only singleflight deduplication).
+	CacheCap int
+	// MaxBodyBytes caps the request body; larger bodies get the structured
+	// "oversized-body" error (0 = default 1 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout applies to requests that set no timeoutMS
+	// (0 = default 30s; negative = no default timeout).
+	DefaultTimeout time.Duration
+	// Budget and Ground are the server-side default evaluation budgets;
+	// request budget fields override them field-wise when positive. Their
+	// Interrupt channels are ignored — the server wires per-request
+	// cancellation itself.
+	Budget algebra.Budget
+	Ground ground.Budget
+	// MaxUndef is the default stable-search residual bound
+	// (0 = query.DefaultMaxUndef).
+	MaxUndef int
+	// Collector receives a copy of every observability event the server
+	// emits, in addition to the server's own /metrics counters.
+	Collector obsv.Collector
+}
+
+// Server is the resident query service. Create one with New, register
+// databases with RegisterDB, and mount Handler on an http.Server.
+type Server struct {
+	cfg      Config
+	cache    *planCache
+	reg      *registry
+	stats    *obsv.Stats
+	col      obsv.Collector
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	// testHookEval, when set, runs between plan lookup and evaluation —
+	// test instrumentation for deterministic drain/concurrency tests.
+	testHookEval func()
+}
+
+// New returns a Server ready to serve. Apply Config defaults here so tests
+// can read the effective values back.
+func New(cfg Config) *Server {
+	if cfg.CacheCap == 0 {
+		cfg.CacheCap = 128
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.DefaultTimeout == 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: newPlanCache(cfg.CacheCap),
+		reg:   newRegistry(),
+		stats: obsv.NewStats(),
+	}
+	s.col = obsv.Multi(s.stats, cfg.Collector)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/dbs", s.handleListDBs)
+	s.mux.HandleFunc("PUT /v1/dbs/{name}", s.handlePutDB)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Collector returns the collector the server reports to: its own /metrics
+// counters fanned out with Config.Collector. Install it as the process
+// default (obsv.SetDefault) to surface engine-internal events — fixpoint
+// rounds, grounding passes, stable searches — on /metrics too.
+func (s *Server) Collector() obsv.Collector { return s.col }
+
+// Stats returns the server's counter collector (the /metrics source).
+func (s *Server) Stats() *obsv.Stats { return s.stats }
+
+// RegisterDB registers (or replaces) a named database.
+func (s *Server) RegisterDB(name string, db algebra.DB) {
+	s.reg.set(name, db)
+}
+
+// BeginDrain puts the server into draining mode: query and registration
+// requests are refused with the "shutting-down" error while requests already
+// past the drain check run to completion (http.Server.Shutdown waits for
+// them). Draining is one-way.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Error codes of the JSON error body, beyond those of query.ErrorCode.
+const (
+	codeBadRequest    = "bad-request"
+	codeUnknownDB     = "unknown-database"
+	codeOversized     = "oversized-body"
+	codeShuttingDown  = "shutting-down"
+	codeTimeout       = "timeout"
+	codeParseError    = "parse-error"
+	codeBudgetExceed  = "budget-exceeded"
+	codeCanceled      = "canceled"
+	codeUnsupportedSm = "unsupported-semantics"
+)
+
+// httpStatus maps a structured error code to its HTTP status.
+func httpStatus(code string) int {
+	switch code {
+	case codeBadRequest:
+		return http.StatusBadRequest
+	case codeUnknownDB:
+		return http.StatusNotFound
+	case codeOversized:
+		return http.StatusRequestEntityTooLarge
+	case codeShuttingDown:
+		return http.StatusServiceUnavailable
+	case codeTimeout:
+		return http.StatusGatewayTimeout
+	case codeCanceled:
+		// The nginx convention for "client closed the connection": nobody
+		// is left to read the response, but logs and metrics see the code.
+		return 499
+	default: // parse-error, unsupported-semantics, budget-exceeded, eval-error
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	OK    bool     `json:"ok"`
+	Error errorObj `json:"error"`
+}
+
+// errorObj carries the structured code and the human-readable message.
+type errorObj struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeJSON writes v with the given status; encoding errors are dropped
+// (the connection is gone, nothing sensible remains to do).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the structured error body for code.
+func writeError(w http.ResponseWriter, code, msg string) {
+	writeJSON(w, httpStatus(code), errorBody{Error: errorObj{Code: code, Message: msg}})
+}
+
+// budgetJSON is the request's budget override block; zero fields keep the
+// server defaults.
+type budgetJSON struct {
+	MaxIFPIters int `json:"maxIFPIters"`
+	MaxSetSize  int `json:"maxSetSize"`
+	MaxDepth    int `json:"maxDepth"`
+	MaxAtoms    int `json:"maxAtoms"`
+	MaxRules    int `json:"maxRules"`
+}
+
+// queryRequest is the POST /v1/query body.
+type queryRequest struct {
+	DB        string      `json:"db"`
+	Language  string      `json:"language"`
+	Semantics string      `json:"semantics"`
+	Query     string      `json:"query"`
+	TimeoutMS int64       `json:"timeoutMS"`
+	MaxUndef  int         `json:"maxUndef"`
+	Budget    *budgetJSON `json:"budget"`
+}
+
+// namedSetJSON is one defined constant in a query response; sets render in
+// the algebra's literal syntax.
+type namedSetJSON struct {
+	Name  string `json:"name"`
+	Set   string `json:"set"`
+	Undef string `json:"undef,omitempty"`
+}
+
+// queryAnswerJSON is one `query` statement's answer.
+type queryAnswerJSON struct {
+	Query string `json:"query"`
+	Set   string `json:"set"`
+	Undef string `json:"undef,omitempty"`
+}
+
+// predFactsJSON is one predicate's facts in a datalog response.
+type predFactsJSON struct {
+	Pred  string   `json:"pred"`
+	True  []string `json:"true,omitempty"`
+	Undef []string `json:"undef,omitempty"`
+}
+
+// resultJSON is the language-dependent payload of a successful query.
+type resultJSON struct {
+	// Value is the expression languages' single result set.
+	Value string `json:"value,omitempty"`
+	// Defs, Queries and Models carry algebra= outcomes.
+	Defs    []namedSetJSON    `json:"defs,omitempty"`
+	Queries []queryAnswerJSON `json:"queries,omitempty"`
+	Models  [][]namedSetJSON  `json:"models,omitempty"`
+	// IDB, Preds and DatalogModels carry datalog outcomes.
+	IDB           []string          `json:"idb,omitempty"`
+	Preds         []predFactsJSON   `json:"preds,omitempty"`
+	DatalogModels [][]predFactsJSON `json:"datalogModels,omitempty"`
+}
+
+// queryResponse is the POST /v1/query success body.
+type queryResponse struct {
+	OK          bool       `json:"ok"`
+	Language    string     `json:"language"`
+	Semantics   string     `json:"semantics"`
+	WellDefined bool       `json:"wellDefined"`
+	CacheHit    bool       `json:"cacheHit"`
+	Result      resultJSON `json:"result"`
+	WallMS      float64    `json:"wallMS"`
+}
+
+// handleQuery serves POST /v1/query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ev := obsv.ServerStats{Route: "query"}
+	defer func() {
+		ev.WallNS = time.Since(start).Nanoseconds()
+		s.col.Server(ev)
+	}()
+	fail := func(code, msg string) {
+		ev.Code = code
+		writeError(w, code, msg)
+	}
+	if s.draining.Load() {
+		fail(codeShuttingDown, "the server is draining and refuses new queries")
+		return
+	}
+	var req queryRequest
+	if code, msg := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); code != "" {
+		fail(code, msg)
+		return
+	}
+	lang, err := query.ParseLanguage(req.Language)
+	if err != nil {
+		fail(codeBadRequest, err.Error())
+		return
+	}
+	sem, err := query.ParseSemantics(req.Semantics)
+	if err != nil {
+		fail(codeBadRequest, err.Error())
+		return
+	}
+	ev.Language, ev.Semantics = string(lang), string(sem)
+	if req.Query == "" {
+		fail(codeBadRequest, "missing \"query\" field")
+		return
+	}
+	db, ok := s.reg.get(req.DB)
+	if !ok {
+		fail(codeUnknownDB, fmt.Sprintf("no database named %q is registered", req.DB))
+		return
+	}
+
+	ev.CacheLookup = true
+	plan, hit, compiled, err := s.cache.get(cacheKey{lang: lang, sem: sem, src: req.Query})
+	ev.CacheHit, ev.Compiled = hit, compiled
+	if err != nil {
+		fail(query.ErrorCode(err, true), err.Error())
+		return
+	}
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	opts := s.requestOptions(&req, ctx)
+
+	if s.testHookEval != nil {
+		s.testHookEval()
+	}
+	out, err := query.Execute(plan, db, opts)
+	if err != nil {
+		code := query.ErrorCode(err, false)
+		if code == codeCanceled && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			code = codeTimeout
+		}
+		fail(code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		OK:          true,
+		Language:    string(lang),
+		Semantics:   string(sem),
+		WellDefined: out.WellDefined,
+		CacheHit:    hit,
+		Result:      renderResult(out),
+		WallMS:      float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// requestOptions merges the request's budget overrides over the server
+// defaults and wires the request context's cancellation into both engines'
+// Interrupt channels (polled between fixpoint rounds).
+func (s *Server) requestOptions(req *queryRequest, ctx context.Context) query.Options {
+	opts := query.Options{Budget: s.cfg.Budget, Ground: s.cfg.Ground, MaxUndef: s.cfg.MaxUndef}
+	if req.MaxUndef > 0 {
+		opts.MaxUndef = req.MaxUndef
+	}
+	if b := req.Budget; b != nil {
+		if b.MaxIFPIters > 0 {
+			opts.Budget.MaxIFPIters = b.MaxIFPIters
+		}
+		if b.MaxSetSize > 0 {
+			opts.Budget.MaxSetSize = b.MaxSetSize
+		}
+		if b.MaxDepth > 0 {
+			opts.Budget.MaxDepth = b.MaxDepth
+		}
+		if b.MaxAtoms > 0 {
+			opts.Ground.MaxAtoms = b.MaxAtoms
+		}
+		if b.MaxRules > 0 {
+			opts.Ground.MaxRules = b.MaxRules
+		}
+	}
+	opts.Budget.Interrupt = ctx.Done()
+	opts.Ground.Interrupt = ctx.Done()
+	return opts
+}
+
+// decodeBody decodes the request body into v under the body-size cap,
+// returning a structured error code ("" on success).
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) (code, msg string) {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return codeOversized, fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit)
+		}
+		return codeBadRequest, "malformed JSON body: " + err.Error()
+	}
+	return "", ""
+}
+
+// renderResult converts a query Outcome to the response's JSON payload.
+func renderResult(o *query.Outcome) resultJSON {
+	var res resultJSON
+	if o.HasValue {
+		res.Value = o.Value.String()
+		return res
+	}
+	toSets := func(defs []query.NamedSet) []namedSetJSON {
+		out := make([]namedSetJSON, 0, len(defs))
+		for _, d := range defs {
+			j := namedSetJSON{Name: d.Name, Set: d.Set.String()}
+			if !d.Undef.IsEmpty() {
+				j.Undef = d.Undef.String()
+			}
+			out = append(out, j)
+		}
+		return out
+	}
+	toPreds := func(m *query.DatalogModel) []predFactsJSON {
+		out := make([]predFactsJSON, 0, len(m.Preds))
+		for _, pf := range m.Preds {
+			out = append(out, predFactsJSON{Pred: pf.Pred, True: pf.True, Undef: pf.Undef})
+		}
+		return out
+	}
+	res.Defs = toSets(o.Defs)
+	for _, q := range o.Queries {
+		j := queryAnswerJSON{Query: q.Src, Set: q.Set.String()}
+		if !q.Undef.IsEmpty() {
+			j.Undef = q.Undef.String()
+		}
+		res.Queries = append(res.Queries, j)
+	}
+	for _, m := range o.Models {
+		res.Models = append(res.Models, toSets(m))
+	}
+	res.IDB = o.IDB
+	if o.Datalog != nil {
+		res.Preds = toPreds(o.Datalog)
+	}
+	for i := range o.DatalogModels {
+		res.DatalogModels = append(res.DatalogModels, toPreds(&o.DatalogModels[i]))
+	}
+	return res
+}
+
+// handleListDBs serves GET /v1/dbs.
+func (s *Server) handleListDBs(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ev := obsv.ServerStats{Route: "dbs"}
+	defer func() {
+		ev.WallNS = time.Since(start).Nanoseconds()
+		s.col.Server(ev)
+	}()
+	writeJSON(w, http.StatusOK, struct {
+		OK  bool     `json:"ok"`
+		DBs []dbInfo `json:"dbs"`
+	}{OK: true, DBs: s.reg.list()})
+}
+
+// handlePutDB serves PUT /v1/dbs/{name}: the body is an algebra= script
+// whose rel statements become the database's relations.
+func (s *Server) handlePutDB(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ev := obsv.ServerStats{Route: "dbs"}
+	defer func() {
+		ev.WallNS = time.Since(start).Nanoseconds()
+		s.col.Server(ev)
+	}()
+	fail := func(code, msg string) {
+		ev.Code = code
+		writeError(w, code, msg)
+	}
+	if s.draining.Load() {
+		fail(codeShuttingDown, "the server is draining and refuses new registrations")
+		return
+	}
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	src, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			fail(codeOversized, fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
+		} else {
+			fail(codeBadRequest, err.Error())
+		}
+		return
+	}
+	db, err := LoadDBScript(string(src))
+	if err != nil {
+		fail(codeParseError, err.Error())
+		return
+	}
+	s.reg.set(name, db)
+	writeJSON(w, http.StatusOK, struct {
+		OK        bool   `json:"ok"`
+		Name      string `json:"name"`
+		Relations int    `json:"relations"`
+	}{OK: true, Name: name, Relations: len(db)})
+}
+
+// LoadDBScript parses src as an algebra= script and returns its relation
+// declarations as a database — the on-disk and over-the-wire database
+// format of the service (definitions and queries are rejected: a database
+// is data, not a program).
+func LoadDBScript(src string) (algebra.DB, error) {
+	script, err := parse.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(script.Program.Defs) > 0 || len(script.Queries) > 0 {
+		return nil, fmt.Errorf("server: a database script may contain only rel statements")
+	}
+	return script.DB, nil
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 once draining,
+// so load balancers stop routing to a server that is shutting down.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ev := obsv.ServerStats{Route: "healthz"}
+	defer func() {
+		ev.WallNS = time.Since(start).Nanoseconds()
+		s.col.Server(ev)
+	}()
+	status, state := http.StatusOK, "serving"
+	if s.draining.Load() {
+		status, state = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, status, struct {
+		OK     bool   `json:"ok"`
+		Status string `json:"status"`
+	}{OK: status == http.StatusOK, Status: state})
+}
+
+// handleMetrics serves GET /metrics: the server's counter snapshot (see
+// obsv.Snapshot for the vocabulary) plus the plan cache's current size.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ev := obsv.ServerStats{Route: "metrics"}
+	defer func() {
+		ev.WallNS = time.Since(start).Nanoseconds()
+		s.col.Server(ev)
+	}()
+	writeJSON(w, http.StatusOK, struct {
+		OK         bool          `json:"ok"`
+		Counters   obsv.Snapshot `json:"counters"`
+		CachedPlan int           `json:"cachedPlans"`
+	}{OK: true, Counters: s.stats.Snapshot(), CachedPlan: s.cache.len()})
+}

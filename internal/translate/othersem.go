@@ -27,11 +27,21 @@ import (
 // two stable models, {win = {a}} and {win = {b}}, while the valid semantics
 // leaves both memberships undefined.
 func StableSets(p *core.Program, db algebra.DB, maxUndef int) ([]map[string]value.Set, error) {
-	q, g, err := programToGround(p, db)
+	return StableSetsBudget(p, db, maxUndef, ground.Budget{})
+}
+
+// StableSetsBudget is StableSets with an explicit grounding budget; the
+// budget's Interrupt channel, when set, also cancels the residual search
+// between candidate windows (Engine.SetInterrupt), so a server can abandon
+// the whole pipeline on a deadline.
+func StableSetsBudget(p *core.Program, db algebra.DB, maxUndef int, gb ground.Budget) ([]map[string]value.Set, error) {
+	q, g, err := programToGround(p, db, gb)
 	if err != nil {
 		return nil, err
 	}
-	models, err := semantics.NewEngine(g).StableModels(maxUndef)
+	e := semantics.NewEngine(g)
+	e.SetInterrupt(gb.Interrupt)
+	models, err := e.StableModels(maxUndef)
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +73,13 @@ func StableSets(p *core.Program, db algebra.DB, maxUndef int) ([]map[string]valu
 // the native alternation makes them certain. Unknown relation names are
 // read as empty relations rather than rejected.
 func WellFoundedSets(p *core.Program, db algebra.DB) (lower, upper map[string]value.Set, err error) {
-	q, g, err := programToGround(p, db)
+	return WellFoundedSetsBudget(p, db, ground.Budget{})
+}
+
+// WellFoundedSetsBudget is WellFoundedSets with an explicit grounding
+// budget (including its Interrupt cancellation channel).
+func WellFoundedSetsBudget(p *core.Program, db algebra.DB, gb ground.Budget) (lower, upper map[string]value.Set, err error) {
+	q, g, err := programToGround(p, db, gb)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -80,7 +96,7 @@ func WellFoundedSets(p *core.Program, db algebra.DB) (lower, upper map[string]va
 // programToGround translates an algebra= program plus database to a ground
 // deductive program, also returning the inlined program (for the definition
 // list).
-func programToGround(p *core.Program, db algebra.DB) (*core.Program, *ground.Program, error) {
+func programToGround(p *core.Program, db algebra.DB, gb ground.Budget) (*core.Program, *ground.Program, error) {
 	q, err := p.Inline()
 	if err != nil {
 		return nil, nil, err
@@ -90,7 +106,7 @@ func programToGround(p *core.Program, db algebra.DB) (*core.Program, *ground.Pro
 		return nil, nil, err
 	}
 	prog.AddFacts(DBFacts(db)...)
-	g, err := ground.Ground(prog, ground.Budget{})
+	g, err := ground.Ground(prog, gb)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -20,7 +20,7 @@ import (
 // syntactic check exists. Errors come from translation or from the grounding
 // budget.
 func CertainlyWellDefined(p *core.Program, db algebra.DB) (bool, error) {
-	_, g, err := programToGround(p, db)
+	_, g, err := programToGround(p, db, ground.Budget{})
 	if err != nil {
 		return false, err
 	}
