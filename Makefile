@@ -1,5 +1,5 @@
 # Tier-1 verification: everything CI gates on.
-.PHONY: all check race bench bench-delta bench-check fuzz-smoke test test-server serve vet lint docs-fresh build clean
+.PHONY: all check race bench bench-delta bench-intern bench-check fuzz-smoke test test-server serve vet lint docs-fresh build clean
 
 all: check
 
@@ -31,7 +31,7 @@ serve:
 # packages (algebra, core) must document every exported declaration.
 # doccheck is stdlib-only (tools/doccheck).
 lint: vet
-	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server .
+	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server,internal/value/intern .
 
 # docs-fresh regenerates EXPERIMENTS.md's tables from the committed record
 # (internal/expt/recorded/run.json) and fails if the committed document was
@@ -48,7 +48,7 @@ docs-fresh:
 # under the race detector; diffcheck rides along because its clean-sweep
 # test drives every engine from parallel subtests.
 race:
-	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/randgen ./internal/diffcheck ./internal/server ./internal/query
+	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/randgen ./internal/diffcheck ./internal/server ./internal/query ./internal/value ./internal/value/intern
 
 # bench runs the full benchmark suite once per target (see also cmd/bench).
 bench:
@@ -74,9 +74,17 @@ bench-check:
 # plain `go test` already replays the committed corpora.
 fuzz-smoke:
 	@for t in ExprSemiNaive ExprIFPElim CoreValid CoreInflationary CoreWellFounded \
-	          DlogTheorem62 DlogTheorem43 DlogMinimal DlogStratified DlogStable; do \
+	          DlogTheorem62 DlogTheorem43 DlogMinimal DlogStratified DlogStable \
+	          ExprIntern DlogIntern; do \
 		go test ./internal/diffcheck -run '^$$' -fuzz "^Fuzz$$t\$$" -fuzztime 10s || exit 1; \
 	done
+
+# bench-intern measures the interning layer alone: the interner's hit/miss
+# and membership micro-benchmarks plus the P8 macro A/B (interning on vs the
+# -nointern string-keyed baseline).
+bench-intern:
+	go test ./internal/value/intern -run XXX -bench . -benchmem
+	go run ./cmd/bench -only P8
 
 clean:
 	go clean ./...

@@ -1,5 +1,5 @@
 // Benchmarks: one testing.B target per experiment in DESIGN.md's
-// per-experiment index (E1–E11, P1–P7, ablations A1–A4), plus
+// per-experiment index (E1–E11, P1–P8, ablations A1–A4), plus
 // micro-benchmarks of the individual engines. The experiment functions themselves verify agreement
 // (they are also run as tests in internal/expt); here they are measured.
 package algrec_test
@@ -126,6 +126,13 @@ func BenchmarkA4SemiNaiveAblation(b *testing.B) {
 // cold-compile one by >= 5x on the inline-literal closure workload.
 func BenchmarkP7PlanCache(b *testing.B) {
 	runSuite(b, func() (*expt.Table, error) { return expt.RunP7([]int{1500}) })
+}
+
+// BenchmarkP8Interning runs the interning A/B at one size; the acceptance
+// bar for the hash-consed representation is the intern column beating the
+// -nointern baseline by >= 2x on the Datalog chain-closure workload.
+func BenchmarkP8Interning(b *testing.B) {
+	runSuite(b, func() (*expt.Table, error) { return expt.RunP8([]int{256}) })
 }
 
 // Micro-benchmarks of the individual engines.

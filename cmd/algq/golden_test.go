@@ -5,26 +5,29 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"algrec/internal/value"
 )
 
-// TestGolden pins the CLI's stdout bit-for-bit on the committed example
-// workloads: the shared pipeline extraction (internal/query) must not change
-// a single byte of output. Regenerate with:
+// goldenCases are the committed example workloads whose stdout is pinned
+// bit-for-bit. Regenerate with:
 //
 //	go build -o /tmp/algq ./cmd/algq && /tmp/algq <flags> <input> > <golden>
-func TestGolden(t *testing.T) {
-	cases := []struct {
-		golden string
-		args   []string
-	}{
-		{"tc.valid.golden", []string{"testdata/tc.alg"}},
-		{"tc.inflationary.golden", []string{"-inflationary", "testdata/tc.alg"}},
-		{"wingame.valid.golden", []string{"testdata/wingame.alg"}},
-		{"wingame.stable.golden", []string{"-stable", "testdata/wingame.alg"}},
-		{"wincycle.valid.golden", []string{"-defs", "testdata/wincycle.alg"}},
-		{"wincycle.stable.golden", []string{"-stable", "testdata/wincycle.alg"}},
-	}
-	for _, tc := range cases {
+var goldenCases = []struct {
+	golden string
+	args   []string
+}{
+	{"tc.valid.golden", []string{"testdata/tc.alg"}},
+	{"tc.inflationary.golden", []string{"-inflationary", "testdata/tc.alg"}},
+	{"wingame.valid.golden", []string{"testdata/wingame.alg"}},
+	{"wingame.stable.golden", []string{"-stable", "testdata/wingame.alg"}},
+	{"wincycle.valid.golden", []string{"-defs", "testdata/wincycle.alg"}},
+	{"wincycle.stable.golden", []string{"-stable", "testdata/wincycle.alg"}},
+}
+
+func runGolden(t *testing.T) {
+	t.Helper()
+	for _, tc := range goldenCases {
 		t.Run(tc.golden, func(t *testing.T) {
 			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
 			if err != nil {
@@ -39,4 +42,18 @@ func TestGolden(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestGolden pins the CLI's stdout bit-for-bit on the committed example
+// workloads: the shared pipeline extraction (internal/query) must not change
+// a single byte of output.
+func TestGolden(t *testing.T) { runGolden(t) }
+
+// TestGoldenNoIntern replays the same golden cases with hash-consed
+// interning disabled (the cmd/bench -nointern ablation): the string-keyed
+// representation must reproduce every byte of output.
+func TestGoldenNoIntern(t *testing.T) {
+	was := value.SetInterning(false)
+	defer value.SetInterning(was)
+	runGolden(t)
 }

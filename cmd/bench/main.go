@@ -11,13 +11,19 @@
 // Usage:
 //
 //	bench [-scale N] [-markdown] [-only E9] [-parallel] [-noseminaive]
-//	      [-json path] [-trace path] [-pprof dir]
+//	      [-nointern] [-json path] [-trace path] [-pprof dir]
 //	bench -render record.json [-update EXPERIMENTS.md]
 //
 // -noseminaive disables the semi-naive delta fixpoint engine process-wide
 // (algebra.DefaultBudget.NoSemiNaive): every IFP iterates naively and
 // internal/core uses its unscheduled sequential evaluators — the baseline of
 // the A4 ablation. Results are identical either way.
+//
+// -nointern disables hash-consed value interning process-wide
+// (value.SetInterning): the grounder deduplicates facts by canonical key
+// strings and the hash join keys its index by string encodings instead of
+// interned IDs — the baseline of the P8 ablation. Results are identical
+// either way.
 //
 // -json accepts either a file name or an existing directory; a directory
 // gets a BENCH_<stamp>.json file created inside it. Serial runs attribute
@@ -49,6 +55,7 @@ import (
 	"algrec/internal/algebra"
 	"algrec/internal/expt"
 	"algrec/internal/obsv"
+	"algrec/internal/value"
 )
 
 func main() {
@@ -57,13 +64,14 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. E9)")
 	parallel := flag.Bool("parallel", false, "run independent suites and workload sizes concurrently")
 	noSemiNaive := flag.Bool("noseminaive", false, "disable the semi-naive delta fixpoint engine (A4 ablation baseline)")
+	noIntern := flag.Bool("nointern", false, "disable hash-consed value interning (P8 ablation baseline)")
 	jsonPath := flag.String("json", "", "write an expt.Record report to this file (or BENCH_<stamp>.json inside this directory)")
 	tracePath := flag.String("trace", "", "stream observability events as JSON lines to this file")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	render := flag.String("render", "", "render EXPERIMENTS.md tables from this record file instead of running experiments")
 	update := flag.String("update", "", "with -render: splice the rendered section into this markdown file in place")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "Usage: bench [-scale N] [-markdown] [-only ID] [-parallel] [-noseminaive] [-json path] [-trace path] [-pprof dir]")
+		fmt.Fprintln(os.Stderr, "Usage: bench [-scale N] [-markdown] [-only ID] [-parallel] [-noseminaive] [-nointern] [-json path] [-trace path] [-pprof dir]")
 		fmt.Fprintln(os.Stderr, "       bench -render record.json [-update EXPERIMENTS.md]")
 		flag.PrintDefaults()
 	}
@@ -85,6 +93,12 @@ func main() {
 		// the run — including those constructed deep inside experiments —
 		// falls back to the naive fixpoint engines.
 		algebra.DefaultBudget.NoSemiNaive = true
+	}
+	if *noIntern {
+		// Process-wide: the grounder falls back to canonical-key-string fact
+		// dedup and the hash join to string-keyed indexes. Results are
+		// identical either way; P8 measures the difference.
+		value.SetInterning(false)
 	}
 
 	suites := expt.DefaultSuites(*scale)

@@ -5,27 +5,30 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"algrec/internal/value"
 )
 
-// TestGolden pins the CLI's stdout bit-for-bit on the committed example
-// workloads: the shared pipeline extraction (internal/query) must not change
-// a single byte of output. Regenerate with:
+// goldenCases are the committed example workloads whose stdout is pinned
+// bit-for-bit. Regenerate with:
 //
 //	go build -o /tmp/dlog ./cmd/dlog && /tmp/dlog <flags> <input> > <golden>
-func TestGolden(t *testing.T) {
-	cases := []struct {
-		golden string
-		args   []string
-	}{
-		{"tc.minimal.golden", []string{"-semantics", "minimal", "testdata/tc.dlog"}},
-		{"tc.valid.golden", []string{"testdata/tc.dlog"}},
-		{"bom.stratified.golden", []string{"-semantics", "stratified", "testdata/bom.dlog"}},
-		{"bom.missing.wellfounded.golden", []string{"-semantics", "wellfounded", "-pred", "missing", "testdata/bom.dlog"}},
-		{"wingame.valid.golden", []string{"-undef", "testdata/wingame.dlog"}},
-		{"wingame.stable.golden", []string{"-semantics", "stable", "testdata/wingame.dlog"}},
-		{"wingame.inflationary.golden", []string{"-semantics", "inflationary", "testdata/wingame.dlog"}},
-	}
-	for _, tc := range cases {
+var goldenCases = []struct {
+	golden string
+	args   []string
+}{
+	{"tc.minimal.golden", []string{"-semantics", "minimal", "testdata/tc.dlog"}},
+	{"tc.valid.golden", []string{"testdata/tc.dlog"}},
+	{"bom.stratified.golden", []string{"-semantics", "stratified", "testdata/bom.dlog"}},
+	{"bom.missing.wellfounded.golden", []string{"-semantics", "wellfounded", "-pred", "missing", "testdata/bom.dlog"}},
+	{"wingame.valid.golden", []string{"-undef", "testdata/wingame.dlog"}},
+	{"wingame.stable.golden", []string{"-semantics", "stable", "testdata/wingame.dlog"}},
+	{"wingame.inflationary.golden", []string{"-semantics", "inflationary", "testdata/wingame.dlog"}},
+}
+
+func runGolden(t *testing.T) {
+	t.Helper()
+	for _, tc := range goldenCases {
 		t.Run(tc.golden, func(t *testing.T) {
 			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
 			if err != nil {
@@ -40,4 +43,18 @@ func TestGolden(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestGolden pins the CLI's stdout bit-for-bit on the committed example
+// workloads: the shared pipeline extraction (internal/query) must not change
+// a single byte of output.
+func TestGolden(t *testing.T) { runGolden(t) }
+
+// TestGoldenNoIntern replays the same golden cases with hash-consed
+// interning disabled (the cmd/bench -nointern ablation): the string-keyed
+// representation must reproduce every byte of output.
+func TestGoldenNoIntern(t *testing.T) {
+	was := value.SetInterning(false)
+	defer value.SetInterning(was)
+	runGolden(t)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"algrec/internal/value"
+	"algrec/internal/value/intern"
 )
 
 // This file implements a hash equi-join fast path. The algebra has no join
@@ -109,9 +110,19 @@ func applyPath(val value.Value, path KeyPath) (value.Value, bool) {
 // lks, re-checking the complete test on every candidate pair. It returns
 // ok=false (and no error) when a key path fails to apply, signalling the
 // caller to fall back to the naive product.
+//
+// With interning enabled the index is keyed by the hash-consed ID of each
+// key projection (integer map operations, no key string is ever built);
+// otherwise by the canonical string encoding. Both give the same buckets —
+// IDs are canonical and the encoding is injective — and the complete test is
+// re-checked either way, so results are bit-for-bit identical.
 func HashJoin(l, r value.Set, v string, test FExpr, lks, rks []KeyPath, maxSize int) (value.Set, bool, error) {
+	if value.InterningEnabled() {
+		return hashJoinID(l, r, v, test, lks, rks, maxSize)
+	}
 	index := make(map[string][]value.Value, r.Len())
-	for _, re := range r.Elems() {
+	for i := 0; i < r.Len(); i++ {
+		re := r.At(i)
 		key, ok := joinKey(re, rks)
 		if !ok {
 			return value.Set{}, false, nil
@@ -119,8 +130,46 @@ func HashJoin(l, r value.Set, v string, test FExpr, lks, rks []KeyPath, maxSize 
 		index[key] = append(index[key], re)
 	}
 	var out []value.Value
-	for _, le := range l.Elems() {
+	for i := 0; i < l.Len(); i++ {
+		le := l.At(i)
 		key, ok := joinKey(le, lks)
+		if !ok {
+			return value.Set{}, false, nil
+		}
+		for _, re := range index[key] {
+			pair := value.Pair(le, re)
+			keep, err := EvalTest(test, FEnv{v: pair})
+			if err != nil {
+				return value.Set{}, false, err
+			}
+			if keep {
+				out = append(out, pair)
+				if len(out) > maxSize {
+					return value.Set{}, false, fmt.Errorf("%w: join result exceeds MaxSetSize %d", ErrBudget, maxSize)
+				}
+			}
+		}
+	}
+	return value.NewSet(out...), true, nil
+}
+
+// hashJoinID is HashJoin's interned fast path: ID-keyed index, same shape.
+func hashJoinID(l, r value.Set, v string, test FExpr, lks, rks []KeyPath, maxSize int) (value.Set, bool, error) {
+	in := intern.Global()
+	index := make(map[intern.ID][]value.Value, r.Len())
+	var buf []intern.ID
+	for i := 0; i < r.Len(); i++ {
+		re := r.At(i)
+		key, ok := joinKeyID(in, re, rks, &buf)
+		if !ok {
+			return value.Set{}, false, nil
+		}
+		index[key] = append(index[key], re)
+	}
+	var out []value.Value
+	for i := 0; i < l.Len(); i++ {
+		le := l.At(i)
+		key, ok := joinKeyID(in, le, lks, &buf)
 		if !ok {
 			return value.Set{}, false, nil
 		}
@@ -159,4 +208,27 @@ func joinKey(e value.Value, paths []KeyPath) (string, bool) {
 		parts[i] = v
 	}
 	return value.NewTuple(parts...).String(), true
+}
+
+// joinKeyID conses an element's composite key to its canonical ID. buf is
+// scratch reused across calls (InternTuple copies what it keeps).
+func joinKeyID(in *intern.Interner, e value.Value, paths []KeyPath, buf *[]intern.ID) (intern.ID, bool) {
+	if len(paths) == 1 {
+		v, ok := applyPath(e, paths[0])
+		if !ok {
+			return 0, false
+		}
+		return in.Intern(v), true
+	}
+	ids := (*buf)[:0]
+	for _, p := range paths {
+		v, ok := applyPath(e, p)
+		if !ok {
+			*buf = ids
+			return 0, false
+		}
+		ids = append(ids, in.Intern(v))
+	}
+	*buf = ids
+	return in.InternTuple(ids...), true
 }

@@ -23,10 +23,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"algrec/internal/datalog"
 	"algrec/internal/obsv"
 	"algrec/internal/value"
+	"algrec/internal/value/intern"
 )
 
 // Budget caps the resources instantiation may consume.
@@ -89,34 +91,125 @@ type Rule struct {
 }
 
 // Program is a ground program: interned atoms plus propositional rules.
+//
+// Atoms are deduplicated in one of two equivalent ways, fixed at Ground time
+// by the process-wide interning switch (value.InterningEnabled): the ID mode
+// keys each fact by its hash-consed argument-ID row in a compact
+// intern.Relation per (predicate, arity); the string mode keys it by the
+// canonical Fact.Key. Both assign atom ids in first-sight order, so the two
+// modes produce bit-for-bit identical programs.
 type Program struct {
-	atoms  []datalog.Fact
-	keys   []string // canonical key per atom id, computed once at interning
-	index  map[string]int
-	byPred map[string][]int // atom ids per predicate, in interning order
-	Rules  []Rule
+	numAtoms int
+	atoms    []datalog.Fact           // string mode: filled at interning; ID mode: lazily materialized
+	keys     []string                 // canonical key per atom id; lazy in ID mode like atoms
+	interned bool                     // which dedup representation Lookup must use
+	index    map[string]int           // string mode: Fact.Key -> atom id
+	tables   map[predArity]*predTable // ID mode: argument-ID rows per predicate
+	byPred   map[string][]int         // atom ids per predicate, in interning order
+	Rules    []Rule
+	// atomsOnce/keysOnce guard the ID mode's lazy materialization of atoms
+	// and keys from the relation rows: grounding itself never builds a
+	// datalog.Fact or formats a key string for an already-seen atom, and
+	// programs that are only ever run through a truth-vector engine never
+	// build them at all.
+	atomsOnce sync.Once
+	keysOnce  sync.Once
+}
+
+// predArity keys the per-predicate fact tables; facts of the same predicate
+// name but different arity are distinct atoms, so each arity gets its own
+// fixed-width relation.
+type predArity struct {
+	pred  string
+	arity int
+}
+
+// predTable is one predicate's compact fact store: the argument-ID rows in a
+// flat relation, plus the global atom id of each row (row indices are local
+// to the table, atom ids are program-wide).
+type predTable struct {
+	rel     *intern.Relation
+	atomIDs []int
 }
 
 // NumAtoms returns the number of interned ground atoms.
-func (g *Program) NumAtoms() int { return len(g.atoms) }
+func (g *Program) NumAtoms() int { return g.numAtoms }
 
 // Words64 returns the atom count rounded up to 64-bit words: the number of
 // uint64 words a dense truth vector over the atom ids needs. The semantics
 // engines size their bitsets with it.
-func (g *Program) Words64() int { return (len(g.atoms) + 63) / 64 }
+func (g *Program) Words64() int { return (g.numAtoms + 63) / 64 }
 
 // Atom returns the interned atom with the given id.
-func (g *Program) Atom(id int) datalog.Fact { return g.atoms[id] }
+func (g *Program) Atom(id int) datalog.Fact {
+	if g.interned {
+		g.atomsOnce.Do(g.materializeAtoms)
+	}
+	return g.atoms[id]
+}
 
 // AtomKey returns the canonical key of the interned atom with the given id.
-// The key is computed once during interning; callers that previously rebuilt
-// it via Atom(id).Key() should use this instead.
-func (g *Program) AtomKey(id int) string { return g.keys[id] }
+// The key is computed at most once per atom — eagerly in the string mode
+// (it doubles as the dedup key) and on first use in the ID mode; callers
+// that previously rebuilt it via Atom(id).Key() should use this instead.
+func (g *Program) AtomKey(id int) string {
+	if g.interned {
+		g.keysOnce.Do(g.materializeKeys)
+	}
+	return g.keys[id]
+}
+
+// materializeAtoms builds the datalog.Fact view of every atom from the
+// compact relation rows — the ID mode's deferred counterpart of the string
+// mode's at-interning Fact storage. Guarded by atomsOnce: safe when a ground
+// program is shared across goroutines (e.g. the parallel stable search).
+func (g *Program) materializeAtoms() {
+	in := intern.Global()
+	atoms := make([]datalog.Fact, g.numAtoms)
+	for pa, t := range g.tables {
+		for i, id := range t.atomIDs {
+			row := t.rel.Row(i)
+			args := make([]value.Value, len(row))
+			for j, rid := range row {
+				args[j] = in.Lookup(rid)
+			}
+			atoms[id] = datalog.Fact{Pred: pa.pred, Args: args}
+		}
+	}
+	g.atoms = atoms
+}
+
+// materializeKeys formats every atom's canonical key (ID mode, on first
+// AtomKey call).
+func (g *Program) materializeKeys() {
+	g.atomsOnce.Do(g.materializeAtoms)
+	keys := make([]string, g.numAtoms)
+	for id := range keys {
+		keys[id] = g.atoms[id].Key()
+	}
+	g.keys = keys
+}
 
 // Lookup returns the id of the given fact and whether it is interned.
 func (g *Program) Lookup(f datalog.Fact) (int, bool) {
-	id, ok := g.index[f.Key()]
-	return id, ok
+	if !g.interned {
+		id, ok := g.index[f.Key()]
+		return id, ok
+	}
+	t, ok := g.tables[predArity{f.Pred, len(f.Args)}]
+	if !ok {
+		return 0, false
+	}
+	in := intern.Global()
+	row := make([]intern.ID, len(f.Args))
+	for i, a := range f.Args {
+		row[i] = in.Intern(a)
+	}
+	idx, ok := t.rel.Find(row)
+	if !ok {
+		return 0, false
+	}
+	return t.atomIDs[idx], true
 }
 
 // AtomsOf returns the ids of all interned atoms of the given predicate.
@@ -135,12 +228,19 @@ func (g *Program) Preds() []string {
 type grounder struct {
 	prog   *Program
 	budget Budget
+	// interned mirrors prog.interned; in is the process-global interner the
+	// ID mode deduplicates and indexes through.
+	interned bool
+	in       *intern.Interner
 	// byPredDerived holds, per predicate, the atoms that have appeared as a
 	// rule head or fact ("possible" atoms) in derivation order;
 	// negative-only atoms live in the table but never in byPredDerived.
 	byPredDerived map[string][]int
-	derived       map[int]bool
-	ruleKeys      map[string]bool
+	derived       []bool // per atom id, grown alongside seqOf
+	// ruleIdx deduplicates ground rules by hash, verified against the stored
+	// rule (identical semantics to the former string-key dedup, without
+	// building a key string per candidate rule).
+	ruleIdx map[uint64][]int
 	// seqOf gives each atom id its position within byPredDerived of its
 	// predicate (-1 before derivation); the delta-driven passes use it to
 	// range-restrict index probe results.
@@ -148,37 +248,134 @@ type grounder struct {
 	// indexes maps a matchMask signature to (projection key -> atom ids in
 	// derivation order); masksByPred lists the masks registered per
 	// predicate so markDerived can maintain the indexes incrementally.
+	// idIndexes is the ID-mode equivalent, keyed by the mixed hash of the
+	// projected argument-ID row; hash collisions only add candidates, which
+	// the ID matcher rejects, so probes stay exact.
 	indexes     map[string]map[string][]int
+	idIndexes   map[string]map[uint64][]int
 	masksByPred map[string][]matchMask
+	// rows gives each atom id its argument-ID row (a view into its
+	// predTable's flat relation storage); the ID-space matcher and the index
+	// maintenance read it instead of re-consing Fact arguments.
+	rows [][]intern.ID
+	// idBind is the ID-space binding frame; lookupVal adapts it to
+	// EvalTermFn's value-level variable lookup by materializing bound IDs,
+	// so interpreted function terms evaluate identically in both modes.
+	idBind    *idBindFrame
+	lookupVal func(datalog.Var) (value.Value, bool)
+	// rowBuf is a scratch ID row reused across intern and index operations
+	// (never retained: intern.Relation copies inserted rows).
+	rowBuf []intern.ID
+	// ID-mode rule dedup: an open-addressed table of rule indices plus
+	// reusable sort/neg scratch and a chunked int arena for rule bodies, so a
+	// duplicate firing allocates nothing and a new rule costs only its share
+	// of an arena chunk. The string mode keeps ruleIdx above.
+	ruleTab  []int32
+	ruleMask uint32
+	posSort  []int
+	negSort  []int
+	negBuf   []int
+	bodies   intArena
+}
+
+// intArena carves small []int slices out of shared chunks; rule bodies are
+// immutable once stored, so packing them eliminates one heap object per rule.
+type intArena struct{ buf []int }
+
+const intArenaChunk = 1 << 13
+
+func (a *intArena) store(src []int) []int {
+	if len(src) == 0 {
+		return nil
+	}
+	if len(a.buf)+len(src) > cap(a.buf) {
+		size := intArenaChunk
+		for size < len(src) {
+			size *= 2
+		}
+		a.buf = make([]int, 0, size)
+	}
+	n := len(a.buf)
+	a.buf = a.buf[: n+len(src) : cap(a.buf)]
+	s := a.buf[n : n+len(src) : n+len(src)]
+	copy(s, src)
+	return s
 }
 
 func (g *grounder) intern(f datalog.Fact) (int, error) {
+	if g.interned {
+		row := g.rowBuf[:0]
+		for _, a := range f.Args {
+			row = append(row, g.in.Intern(a))
+		}
+		g.rowBuf = row
+		return g.internRow(f.Pred, row)
+	}
 	key := f.Key()
 	if id, ok := g.prog.index[key]; ok {
 		return id, nil
 	}
-	if len(g.prog.atoms) >= g.budget.MaxAtoms {
+	if g.prog.numAtoms >= g.budget.MaxAtoms {
 		return 0, &BudgetError{What: "atoms", Limit: g.budget.MaxAtoms}
 	}
-	id := len(g.prog.atoms)
+	id := g.prog.numAtoms
+	g.prog.numAtoms++
 	g.prog.atoms = append(g.prog.atoms, f)
 	g.prog.keys = append(g.prog.keys, key)
 	g.prog.index[key] = id
 	g.prog.byPred[f.Pred] = append(g.prog.byPred[f.Pred], id)
 	g.seqOf = append(g.seqOf, -1)
+	g.derived = append(g.derived, false)
 	return id, nil
 }
 
-func (g *grounder) markDerived(id int) {
+// internRow is the ID-mode fact dedup: probe the predicate's compact relation
+// with the argument-ID row. The steady-state cost per intern attempt is one
+// hash probe over machine words, with no value traffic at all; even for new
+// atoms no datalog.Fact or key string is built (the Program materializes
+// those lazily on first Atom/AtomKey use). Atom ids are assigned in the same
+// first-sight order as the string mode.
+func (g *grounder) internRow(pred string, row []intern.ID) (int, error) {
+	pa := predArity{pred, len(row)}
+	t, ok := g.prog.tables[pa]
+	if !ok {
+		t = &predTable{rel: intern.NewRelation(len(row))}
+		g.prog.tables[pa] = t
+	}
+	if idx, ok := t.rel.Find(row); ok {
+		return t.atomIDs[idx], nil
+	}
+	if g.prog.numAtoms >= g.budget.MaxAtoms {
+		return 0, &BudgetError{What: "atoms", Limit: g.budget.MaxAtoms}
+	}
+	id := g.prog.numAtoms
+	g.prog.numAtoms++
+	idx, _ := t.rel.Insert(row)
+	t.atomIDs = append(t.atomIDs, id)
+	g.prog.byPred[pred] = append(g.prog.byPred[pred], id)
+	g.seqOf = append(g.seqOf, -1)
+	g.derived = append(g.derived, false)
+	g.rows = append(g.rows, t.rel.Row(idx))
+	return id, nil
+}
+
+func (g *grounder) markDerived(id int, pred string) {
 	if g.derived[id] {
 		return
 	}
 	g.derived[id] = true
-	f := g.prog.atoms[id]
-	g.seqOf[id] = len(g.byPredDerived[f.Pred])
-	g.byPredDerived[f.Pred] = append(g.byPredDerived[f.Pred], id)
-	for _, m := range g.masksByPred[f.Pred] {
-		key, ok := projectKey(f.Args, m.positions)
+	g.seqOf[id] = len(g.byPredDerived[pred])
+	g.byPredDerived[pred] = append(g.byPredDerived[pred], id)
+	for _, m := range g.masksByPred[pred] {
+		if g.interned {
+			key, ok := projectRowHash(g.rows[id], m.positions)
+			if !ok {
+				continue
+			}
+			g.idIndexes[m.sig][key] = append(g.idIndexes[m.sig][key], id)
+			continue
+		}
+		key, ok := projectKey(g.prog.atoms[id].Args, m.positions)
 		if !ok {
 			continue
 		}
@@ -189,28 +386,112 @@ func (g *grounder) markDerived(id int) {
 func (g *grounder) addRule(head int, pos, neg []int) (bool, error) {
 	sort.Ints(pos)
 	sort.Ints(neg)
-	var sb strings.Builder
-	sb.WriteString(strconv.Itoa(head))
-	sb.WriteByte('|')
-	for _, p := range pos {
-		sb.WriteString(strconv.Itoa(p))
-		sb.WriteByte(',')
-	}
-	sb.WriteByte('|')
-	for _, n := range neg {
-		sb.WriteString(strconv.Itoa(n))
-		sb.WriteByte(',')
-	}
-	key := sb.String()
-	if g.ruleKeys[key] {
-		return false, nil
+	h := hashRule(head, pos, neg)
+	for _, ri := range g.ruleIdx[h] {
+		r := &g.prog.Rules[ri]
+		if r.Head == head && intsEqual(r.Pos, pos) && intsEqual(r.Neg, neg) {
+			return false, nil
+		}
 	}
 	if len(g.prog.Rules) >= g.budget.MaxRules {
 		return false, &BudgetError{What: "rules", Limit: g.budget.MaxRules}
 	}
-	g.ruleKeys[key] = true
+	g.ruleIdx[h] = append(g.ruleIdx[h], len(g.prog.Rules))
 	g.prog.Rules = append(g.prog.Rules, Rule{Head: head, Pos: pos, Neg: neg})
 	return true, nil
+}
+
+// addRuleID is the ID-mode twin of addRule. It leaves the caller's slices
+// untouched (sorting happens in reusable scratch), dedups against the
+// open-addressed rule table, and copies the body into the arena only when the
+// rule is genuinely new — the common duplicate firing allocates nothing.
+func (g *grounder) addRuleID(head int, pos, neg []int) (bool, error) {
+	g.posSort = append(g.posSort[:0], pos...)
+	g.negSort = append(g.negSort[:0], neg...)
+	sort.Ints(g.posSort)
+	sort.Ints(g.negSort)
+	h := hashRule(head, g.posSort, g.negSort)
+	slot := uint32(h) & g.ruleMask
+	for {
+		ri := g.ruleTab[slot]
+		if ri == 0 {
+			break
+		}
+		r := &g.prog.Rules[ri-1]
+		if r.Head == head && intsEqual(r.Pos, g.posSort) && intsEqual(r.Neg, g.negSort) {
+			return false, nil
+		}
+		slot = (slot + 1) & g.ruleMask
+	}
+	if len(g.prog.Rules) >= g.budget.MaxRules {
+		return false, &BudgetError{What: "rules", Limit: g.budget.MaxRules}
+	}
+	idx := len(g.prog.Rules)
+	g.prog.Rules = append(g.prog.Rules, Rule{
+		Head: head,
+		Pos:  g.bodies.store(g.posSort),
+		Neg:  g.bodies.store(g.negSort),
+	})
+	// Same 3/4 load-factor policy as intern.Relation; growth rehashes from the
+	// stored (already sorted) rules, so no hash needs to be remembered.
+	if uint32(idx+1)*4 > (g.ruleMask+1)*3 {
+		g.growRuleTab()
+	} else {
+		g.ruleTab[slot] = int32(idx + 1)
+	}
+	return true, nil
+}
+
+const ruleTabMin = 16
+
+func (g *grounder) growRuleTab() {
+	size := (g.ruleMask + 1) * 2
+	g.ruleTab = make([]int32, size)
+	g.ruleMask = size - 1
+	for i := range g.prog.Rules {
+		r := &g.prog.Rules[i]
+		slot := uint32(hashRule(r.Head, r.Pos, r.Neg)) & g.ruleMask
+		for g.ruleTab[slot] != 0 {
+			slot = (slot + 1) & g.ruleMask
+		}
+		g.ruleTab[slot] = int32(i + 1)
+	}
+}
+
+// hashRule hashes a sorted ground rule; collisions are resolved by the exact
+// comparison in addRule.
+func hashRule(head int, pos, neg []int) uint64 {
+	h := ruleMix(0x8f3a6c1b57e94d25 ^ uint64(head))
+	for _, p := range pos {
+		h = ruleMix(h ^ uint64(p))
+	}
+	h = ruleMix(h ^ uint64(len(pos)))
+	for _, n := range neg {
+		h = ruleMix(h ^ uint64(n))
+	}
+	return ruleMix(h ^ uint64(len(neg)))
+}
+
+// ruleMix is the SplitMix64 finalizer.
+func ruleMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // matchMask describes, for one match step, the argument positions whose
@@ -222,16 +503,59 @@ type matchMask struct {
 	positions []int
 	sig       string // index signature: pred|arity|positions
 	// index is the resolved bucket map for sig, filled by registerMasks so
-	// probes need a single map lookup.
-	index map[string][]int
+	// probes need a single map lookup. Exactly one of index (string mode)
+	// and idIndex (ID mode) is populated, per the grounder's mode.
+	index   map[string][]int
+	idIndex map[uint64][]int
 }
 
 // orderedRule pairs a rule's execution plan with per-match-step index masks.
+// In ID mode the rule's atom arguments are additionally compiled to idArg
+// rows (idSteps/idHead/idNegs), so matching and firing run entirely over
+// interned IDs.
 type orderedRule struct {
 	plan     datalog.BodyPlan
 	head     datalog.Atom
 	masks    []matchMask // indexed like plan.Steps; meaningful for match steps
 	posPreds []string    // predicate of each positive literal, indexed by PosIdx
+	idSteps  [][]idArg   // indexed like plan.Steps; non-nil for match steps
+	idHead   []idArg
+	idNegs   [][]idArg
+}
+
+// idArg is one compiled pattern argument of the ID-space matcher: a variable
+// (matched or bound by ID equality), a constant consed once at compile time,
+// or an interpreted function term that still evaluates through values.
+type idArg struct {
+	kind idArgKind
+	v    datalog.Var
+	id   intern.ID
+	term datalog.Term
+}
+
+type idArgKind uint8
+
+const (
+	idVar idArgKind = iota
+	idConst
+	idTerm
+)
+
+// compileArgs builds the idArg row for an atom's argument terms, consing
+// constants up front.
+func (g *grounder) compileArgs(args []datalog.Term) []idArg {
+	out := make([]idArg, len(args))
+	for i, t := range args {
+		switch tt := t.(type) {
+		case datalog.Var:
+			out[i] = idArg{kind: idVar, v: tt}
+		case datalog.Const:
+			out[i] = idArg{kind: idConst, id: g.in.Intern(tt.V)}
+		default:
+			out[i] = idArg{kind: idTerm, term: t}
+		}
+	}
+	return out
 }
 
 func maskSig(pred string, arity int, positions []int) string {
@@ -323,6 +647,34 @@ func (b *bindFrame) reset(n int) {
 	b.vals = b.vals[:n]
 }
 
+// idBindFrame is bindFrame over interned IDs: the ID-space matcher binds and
+// compares single machine words instead of boxed values.
+type idBindFrame struct {
+	vars []datalog.Var
+	ids  []intern.ID
+}
+
+func (b *idBindFrame) lookup(v datalog.Var) (intern.ID, bool) {
+	for i := len(b.vars) - 1; i >= 0; i-- {
+		if b.vars[i] == v {
+			return b.ids[i], true
+		}
+	}
+	return 0, false
+}
+
+func (b *idBindFrame) push(v datalog.Var, id intern.ID) {
+	b.vars = append(b.vars, v)
+	b.ids = append(b.ids, id)
+}
+
+func (b *idBindFrame) mark() int { return len(b.vars) }
+
+func (b *idBindFrame) reset(n int) {
+	b.vars = b.vars[:n]
+	b.ids = b.ids[:n]
+}
+
 // registerMasks records every distinct index an ordered rule will probe, so
 // markDerived can maintain them incrementally.
 func (g *grounder) registerMasks(or *orderedRule) {
@@ -331,6 +683,17 @@ func (g *grounder) registerMasks(or *orderedRule) {
 			continue
 		}
 		m := or.masks[i]
+		if g.interned {
+			idx, ok := g.idIndexes[m.sig]
+			if !ok {
+				idx = map[uint64][]int{}
+				g.idIndexes[m.sig] = idx
+				m.idIndex = idx
+				g.masksByPred[st.Atom.Pred] = append(g.masksByPred[st.Atom.Pred], m)
+			}
+			or.masks[i].idIndex = idx
+			continue
+		}
 		idx, ok := g.indexes[m.sig]
 		if !ok {
 			idx = map[string][]int{}
@@ -371,9 +734,108 @@ func probeKey(atom datalog.Atom, positions []int, b *bindFrame) (string, error) 
 	return sb.String(), nil
 }
 
+// projectRowHash mixes the argument IDs at the mask positions into the
+// ID-mode index key; ok=false when the arity does not cover the mask. Probes
+// use the same mix, and every candidate is re-verified by the ID matcher, so
+// a hash collision costs one rejected candidate, never a wrong match.
+func projectRowHash(row []intern.ID, positions []int) (uint64, bool) {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range positions {
+		if p >= len(row) {
+			return 0, false
+		}
+		h = ruleMix(h ^ uint64(row[p]))
+	}
+	return h, true
+}
+
+// probeRowHash is projectRowHash for a match step's compiled pattern under
+// the current ID binding.
+func (g *grounder) probeRowHash(pat []idArg, positions []int, b *idBindFrame) (uint64, error) {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range positions {
+		id, err := g.argID(pat[p], b)
+		if err != nil {
+			return 0, err
+		}
+		h = ruleMix(h ^ uint64(id))
+	}
+	return h, nil
+}
+
+// argID resolves one compiled pattern argument to its interned ID under the
+// binding. Unbound variables and failing function terms report the same
+// errors EvalTermFn does in the string mode.
+func (g *grounder) argID(a idArg, b *idBindFrame) (intern.ID, error) {
+	switch a.kind {
+	case idVar:
+		if id, ok := b.lookup(a.v); ok {
+			return id, nil
+		}
+		// Unreachable for planned rules (the planner orders steps so probed
+		// variables are bound); fall through to EvalTermFn for its error.
+		_, err := datalog.EvalTermFn(a.v, g.lookupVal)
+		return 0, err
+	case idConst:
+		return a.id, nil
+	default:
+		v, err := datalog.EvalTermFn(a.term, g.lookupVal)
+		if err != nil {
+			return 0, err
+		}
+		return g.in.Intern(v), nil
+	}
+}
+
+// matchRowID matches a compiled pattern against an atom's argument-ID row,
+// extending bind; the caller restores the binding mark on failure or after
+// recursion. Interned IDs are canonical, so ID equality is value.Equal.
+func (g *grounder) matchRowID(pat []idArg, row []intern.ID, bind *idBindFrame) (bool, error) {
+	for i, a := range pat {
+		switch a.kind {
+		case idVar:
+			if id, ok := bind.lookup(a.v); ok {
+				if id != row[i] {
+					return false, nil
+				}
+				continue
+			}
+			bind.push(a.v, row[i])
+		case idConst:
+			if a.id != row[i] {
+				return false, nil
+			}
+		default:
+			v, err := datalog.EvalTermFn(a.term, g.lookupVal)
+			if err != nil {
+				return false, err
+			}
+			if g.in.Intern(v) != row[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// evalRowID instantiates a compiled atom pattern into an argument-ID row
+// under the binding, reusing buf.
+func (g *grounder) evalRowID(pat []idArg, bind *idBindFrame, buf []intern.ID) ([]intern.ID, error) {
+	buf = buf[:0]
+	for _, a := range pat {
+		id, err := g.argID(a, bind)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, id)
+	}
+	return buf, nil
+}
+
 // enumerate walks the plan steps recursively, backtracking through bind.
 // rng is nil during pass 0. posIDs accumulates the interned ids of matched
-// positive atoms for fire.
+// positive atoms for fire. This is the string-mode walker; enumerateID is
+// its ID-space twin.
 func (g *grounder) enumerate(or orderedRule, si int, bind *bindFrame, posIDs *[]int, rng *ranges, deltaIdx int) error {
 	if si == len(or.plan.Steps) {
 		return g.fire(or, bind, *posIDs)
@@ -383,14 +845,14 @@ func (g *grounder) enumerate(or orderedRule, si int, bind *bindFrame, posIDs *[]
 	case datalog.StepMatch:
 		var cands []int
 		mask := or.masks[si]
-		if len(mask.positions) > 0 {
+		if len(mask.positions) == 0 {
+			cands = g.byPredDerived[st.Atom.Pred]
+		} else {
 			key, err := probeKey(st.Atom, mask.positions, bind)
 			if err != nil {
 				return err
 			}
 			cands = mask.index[key]
-		} else {
-			cands = g.byPredDerived[st.Atom.Pred]
 		}
 		lo, hi := 0, len(g.byPredDerived[st.Atom.Pred])
 		if rng != nil {
@@ -522,23 +984,165 @@ func (g *grounder) fire(or orderedRule, bind *bindFrame, posIDs []int) error {
 	if _, err := g.addRule(hid, pos, neg); err != nil {
 		return err
 	}
-	g.markDerived(hid)
+	g.markDerived(hid, or.head.Pred)
 	return nil
 }
 
-// Ground instantiates the program under the given budget.
+// enumerateID is enumerate over interned IDs: candidates come from the
+// hash-keyed ID indexes, patterns match argument-ID rows word by word, and
+// bindings hold IDs. It visits the same complete bindings in the same order
+// as the string-mode walker (hash-collision candidates are rejected by
+// matchRowID), so the two modes produce bit-for-bit identical programs.
+func (g *grounder) enumerateID(or orderedRule, si int, bind *idBindFrame, posIDs *[]int, rng *ranges, deltaIdx int) error {
+	if si == len(or.plan.Steps) {
+		return g.fireID(or, bind, *posIDs)
+	}
+	st := or.plan.Steps[si]
+	switch st.Kind {
+	case datalog.StepMatch:
+		var cands []int
+		mask := or.masks[si]
+		pat := or.idSteps[si]
+		if len(mask.positions) == 0 {
+			cands = g.byPredDerived[st.Atom.Pred]
+		} else {
+			key, err := g.probeRowHash(pat, mask.positions, bind)
+			if err != nil {
+				return err
+			}
+			cands = mask.idIndex[key]
+		}
+		lo, hi := 0, len(g.byPredDerived[st.Atom.Pred])
+		if rng != nil {
+			lo, hi = rng.bounds(st.PosIdx, deltaIdx, st.Atom.Pred)
+		}
+		if lo > 0 {
+			// See enumerate: binary search keeps the delta passes linear in
+			// the candidate window, not the whole candidate list.
+			cands = cands[sort.Search(len(cands), func(i int) bool { return g.seqOf[cands[i]] >= lo }):]
+		}
+		for _, id := range cands {
+			if g.seqOf[id] >= hi {
+				break // candidate lists are in derivation order
+			}
+			row := g.rows[id]
+			if len(row) != len(pat) {
+				continue
+			}
+			mk := bind.mark()
+			ok, err := g.matchRowID(pat, row, bind)
+			if err != nil {
+				return err
+			}
+			if ok {
+				*posIDs = append(*posIDs, id)
+				if err := g.enumerateID(or, si+1, bind, posIDs, rng, deltaIdx); err != nil {
+					return err
+				}
+				*posIDs = (*posIDs)[:len(*posIDs)-1]
+			}
+			bind.reset(mk)
+		}
+		return nil
+	case datalog.StepAssign:
+		v, err := datalog.EvalTermFn(st.Term, g.lookupVal)
+		if err != nil {
+			return err
+		}
+		mk := bind.mark()
+		bind.push(st.AssignVar, g.in.Intern(v))
+		err = g.enumerateID(or, si+1, bind, posIDs, rng, deltaIdx)
+		bind.reset(mk)
+		return err
+	case datalog.StepTest:
+		lv, err := datalog.EvalTermFn(st.Cmp.L, g.lookupVal)
+		if err != nil {
+			return err
+		}
+		rv, err := datalog.EvalTermFn(st.Cmp.R, g.lookupVal)
+		if err != nil {
+			return err
+		}
+		ok, err := datalog.EvalCmp(st.Cmp.Op, lv, rv)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return g.enumerateID(or, si+1, bind, posIDs, rng, deltaIdx)
+	default:
+		panic("ground: unknown step kind")
+	}
+}
+
+// fireID records the ground rule for a complete ID binding, instantiating
+// head and negative atoms as argument-ID rows; a datalog.Fact is only built
+// when an atom is new to the program.
+func (g *grounder) fireID(or orderedRule, bind *idBindFrame, posIDs []int) error {
+	row, err := g.evalRowID(or.idHead, bind, g.rowBuf)
+	if err != nil {
+		return err
+	}
+	g.rowBuf = row
+	hid, err := g.internRow(or.head.Pred, row)
+	if err != nil {
+		return err
+	}
+	g.negBuf = g.negBuf[:0]
+	for i, na := range or.plan.Negs {
+		row, err = g.evalRowID(or.idNegs[i], bind, g.rowBuf)
+		if err != nil {
+			return err
+		}
+		g.rowBuf = row
+		id, err := g.internRow(na.Pred, row)
+		if err != nil {
+			return err
+		}
+		g.negBuf = append(g.negBuf, id)
+	}
+	if _, err := g.addRuleID(hid, posIDs, g.negBuf); err != nil {
+		return err
+	}
+	g.markDerived(hid, or.head.Pred)
+	return nil
+}
+
+// Ground instantiates the program under the given budget. The fact-dedup
+// representation (hash-consed ID rows vs canonical key strings) is chosen
+// here from the process-wide interning switch; the resulting Program is
+// identical either way.
 func Ground(p *datalog.Program, budget Budget) (*Program, error) {
+	interned := value.InterningEnabled()
 	g := &grounder{
 		prog: &Program{
-			index:  map[string]int{},
-			byPred: map[string][]int{},
+			interned: interned,
+			byPred:   map[string][]int{},
 		},
 		budget:        budget.withDefaults(),
+		interned:      interned,
 		byPredDerived: map[string][]int{},
-		derived:       map[int]bool{},
-		ruleKeys:      map[string]bool{},
-		indexes:       map[string]map[string][]int{},
 		masksByPred:   map[string][]matchMask{},
+	}
+	if interned {
+		g.in = intern.Global()
+		g.ruleTab = make([]int32, ruleTabMin)
+		g.ruleMask = ruleTabMin - 1
+		g.prog.tables = map[predArity]*predTable{}
+		g.idIndexes = map[string]map[uint64][]int{}
+		g.idBind = &idBindFrame{}
+		g.lookupVal = func(v datalog.Var) (value.Value, bool) {
+			id, ok := g.idBind.lookup(v)
+			if !ok {
+				return nil, false
+			}
+			return g.in.Lookup(id), true
+		}
+	} else {
+		g.prog.index = map[string]int{}
+		g.indexes = map[string]map[string][]int{}
+		g.ruleIdx = map[uint64][]int{}
 	}
 
 	var ordered []orderedRule
@@ -553,12 +1157,32 @@ func Ground(p *datalog.Program, budget Budget) (*Program, error) {
 				or.posPreds[st.PosIdx] = st.Atom.Pred
 			}
 		}
+		if interned {
+			or.idHead = g.compileArgs(r.Head.Args)
+			or.idSteps = make([][]idArg, len(plan.Steps))
+			for i, st := range plan.Steps {
+				if st.Kind == datalog.StepMatch {
+					or.idSteps[i] = g.compileArgs(st.Atom.Args)
+				}
+			}
+			or.idNegs = make([][]idArg, len(plan.Negs))
+			for i, na := range plan.Negs {
+				or.idNegs[i] = g.compileArgs(na.Args)
+			}
+		}
 		g.registerMasks(&or)
 		ordered = append(ordered, or)
 	}
 
 	bind := &bindFrame{}
 	var posIDs []int
+	// run dispatches one rule enumeration to the mode's walker.
+	run := func(or orderedRule, rng *ranges, deltaIdx int) error {
+		if interned {
+			return g.enumerateID(or, 0, g.idBind, &posIDs, rng, deltaIdx)
+		}
+		return g.enumerate(or, 0, bind, &posIDs, rng, deltaIdx)
+	}
 
 	// Pass 0: rules with no positive atoms (facts included) fire once.
 	for _, or := range ordered {
@@ -568,7 +1192,7 @@ func Ground(p *datalog.Program, budget Budget) (*Program, error) {
 		if err := g.budget.stop(); err != nil {
 			return nil, err
 		}
-		if err := g.enumerate(or, 0, bind, &posIDs, nil, -1); err != nil {
+		if err := run(or, nil, -1); err != nil {
 			return nil, err
 		}
 	}
@@ -610,7 +1234,7 @@ func Ground(p *datalog.Program, budget Budget) (*Program, error) {
 					continue
 				}
 				deltaHits++
-				if err := g.enumerate(or, 0, bind, &posIDs, &ranges{prev: prevLen, cur: curLen}, d); err != nil {
+				if err := run(or, &ranges{prev: prevLen, cur: curLen}, d); err != nil {
 					return nil, err
 				}
 			}

@@ -142,6 +142,12 @@ var Oracles = []*Oracle{
 	{Name: "dlog-stable", Kind: KindDatalogFree,
 		Doc:          "stable-model search is worker-count independent",
 		checkDatalog: checkDlogStable},
+	{Name: "expr-intern", Kind: KindExpr,
+		Doc:       "hash-consed interning changes cost only: interned and string-keyed evaluation agree",
+		checkExpr: checkExprIntern},
+	{Name: "dlog-intern", Kind: KindDatalogFree,
+		Doc:          "interned grounding is bit-for-bit the string-keyed ground program, well-founded models equal",
+		checkDatalog: checkDlogIntern},
 }
 
 // ByName returns the oracle with the given name.

@@ -47,3 +47,5 @@ func FuzzDlogTheorem43(f *testing.F)    { fuzzOracle(f, "dlog-theorem43") }
 func FuzzDlogMinimal(f *testing.F)      { fuzzOracle(f, "dlog-minimal") }
 func FuzzDlogStratified(f *testing.F)   { fuzzOracle(f, "dlog-stratified") }
 func FuzzDlogStable(f *testing.F)       { fuzzOracle(f, "dlog-stable") }
+func FuzzExprIntern(f *testing.F)       { fuzzOracle(f, "expr-intern") }
+func FuzzDlogIntern(f *testing.F)       { fuzzOracle(f, "dlog-intern") }

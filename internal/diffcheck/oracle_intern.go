@@ -1,0 +1,101 @@
+package diffcheck
+
+import (
+	"sync"
+
+	"algrec/internal/algebra"
+	"algrec/internal/datalog"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/semantics"
+	"algrec/internal/value"
+)
+
+// The intern oracles pin the hash-consing contract: the process-wide
+// interning switch (value.SetInterning, the cmd/bench -nointern ablation)
+// changes cost only, never results. Each oracle runs one instance with the
+// hash-consed representation and with the string-keyed baseline and demands
+// bit-for-bit identical outcomes.
+//
+// internFlip serializes the oracles' ablation windows so two intern oracles
+// in parallel subtests don't interleave their flips. Other oracles may still
+// observe a flip mid-run; that is harmless — by the very invariant checked
+// here, both settings compute identical results — but a divergence found
+// while a flip was interleaved would be misattributed, hence the lock.
+var internFlip sync.Mutex
+
+// checkExprIntern evaluates one expression with interning on and off; the
+// interned hash join and the cached-ID comparison fast paths must not change
+// the value.
+func checkExprIntern(e algebra.Expr, db algebra.DB) error {
+	const oracle = "expr-intern"
+	internFlip.Lock()
+	defer internFlip.Unlock()
+	was := value.SetInterning(true)
+	defer value.SetInterning(was)
+	on, errOn := algebra.NewEvaluator(db, ExprBudget).Eval(e)
+	value.SetInterning(false)
+	off, errOff := algebra.NewEvaluator(db, ExprBudget).Eval(e)
+	if done, err := pairErr(oracle, "interned", "string-keyed", errOn, errOff); done {
+		return err
+	}
+	return diffSets(oracle, "interned vs string-keyed result", on, off)
+}
+
+// checkDlogIntern grounds one free-polarity program with each representation
+// and demands the two ground programs be bit-for-bit identical — same atom
+// ids in the same first-sight order, same canonical keys, same rules in the
+// same firing order — and that the well-founded models over them assign every
+// atom the same truth value.
+func checkDlogIntern(p *datalog.Program) error {
+	const oracle = "dlog-intern"
+	internFlip.Lock()
+	defer internFlip.Unlock()
+	was := value.SetInterning(true)
+	defer value.SetInterning(was)
+	gOn, errOn := ground.Ground(p, GroundBudget)
+	value.SetInterning(false)
+	gOff, errOff := ground.Ground(p, GroundBudget)
+	if done, err := pairErr(oracle, "interned grounding", "string-keyed grounding", errOn, errOff); done {
+		return err
+	}
+	if gOn.NumAtoms() != gOff.NumAtoms() {
+		return diverge(oracle, "atom count differs: interned %d, string-keyed %d", gOn.NumAtoms(), gOff.NumAtoms())
+	}
+	for id := 0; id < gOn.NumAtoms(); id++ {
+		if gOn.AtomKey(id) != gOff.AtomKey(id) {
+			return diverge(oracle, "atom id %d differs: interned %q, string-keyed %q", id, gOn.AtomKey(id), gOff.AtomKey(id))
+		}
+	}
+	if len(gOn.Rules) != len(gOff.Rules) {
+		return diverge(oracle, "rule count differs: interned %d, string-keyed %d", len(gOn.Rules), len(gOff.Rules))
+	}
+	for ri := range gOn.Rules {
+		a, b := &gOn.Rules[ri], &gOff.Rules[ri]
+		if a.Head != b.Head || !idSlicesEqual(a.Pos, b.Pos) || !idSlicesEqual(a.Neg, b.Neg) {
+			return diverge(oracle, "rule %d differs: interned %+v, string-keyed %+v", ri, *a, *b)
+		}
+	}
+	wfOn := semantics.NewEngine(gOn).WellFounded()
+	wfOff := semantics.NewEngine(gOff).WellFounded()
+	for id := 0; id < gOn.NumAtoms(); id++ {
+		if wfOn.Truth(id) != wfOff.Truth(id) {
+			return diverge(oracle, "well-founded truth of %v differs: interned %v, string-keyed %v",
+				gOn.Atom(id), wfOn.Truth(id), wfOff.Truth(id))
+		}
+	}
+	return nil
+}
+
+// idSlicesEqual compares two atom-id lists elementwise, treating nil and
+// empty as equal (the two grounding modes store empty bodies differently).
+func idSlicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

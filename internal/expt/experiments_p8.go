@@ -1,0 +1,97 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+
+	"algrec/internal/algebra"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/semantics"
+	"algrec/internal/value"
+)
+
+// settle runs a GC so each timed block starts from a clean heap: the two
+// modes allocate very differently, and without the barrier each measurement
+// inherits the previous mode's GC pacing — the dominant noise source in the
+// A/B deltas.
+func settle() { runtime.GC() }
+
+// RunP8 measures hash-consed value interning against the string-keyed
+// baseline (the -nointern ablation) on two existing macro workloads. The
+// dlogTCChain rows run the full Datalog pipeline — grounding transitive
+// closure on a chain, then the semi-naive minimal model — where the ID mode
+// replaces every fact-dedup key string and index probe string with consed-ID
+// operations. The ifpTCChain rows evaluate the same closure as an algebra
+// IFP, where the hash join keys its index by interned IDs. Both modes must
+// produce identical results (that is the -nointern golden-equivalence
+// contract); the comparison is purely about cost.
+func RunP8(sizes []int) (*Table, error) {
+	t := &Table{ID: "P8", Title: "hash-consed interning vs string-keyed evaluation (performance)", OK: true,
+		Header: []string{"workload", "size", "nointern", "intern", "speedup", "agree"}}
+	ambient := value.InterningEnabled()
+	defer value.SetInterning(ambient)
+	if !ambient {
+		t.Notes = append(t.Notes, "-nointern is set: the intern column also runs the string-keyed baseline")
+	}
+	t.Notes = append(t.Notes,
+		"flips the process-wide interning switch around each measurement; timings are authoritative in serial runs",
+		"intern timings are steady-state: the process-global arena stays warm across repetitions, as it does across server requests")
+	budget := ground.Budget{MaxAtoms: 8_000_000, MaxRules: 16_000_000}
+	const reps = 3
+	for _, n := range sizes {
+		// Grounding + minimal model of the TC chain (the P4 pipeline's front
+		// half plus its kernel): fact interning and index probes dominate.
+		p := TCProgram(ChainEdges("e", n))
+		run := func() (*semantics.Interp, error) {
+			g, err := ground.Ground(p, budget)
+			if err != nil {
+				return nil, err
+			}
+			return semantics.NewEngine(g).Minimal()
+		}
+		var base, opt *semantics.Interp
+		var err error
+		value.SetInterning(false)
+		settle()
+		dBase := minTimed(reps, func() { base, err = run() })
+		if err != nil {
+			return nil, err
+		}
+		value.SetInterning(ambient)
+		settle()
+		dOpt := minTimed(reps, func() { opt, err = run() })
+		if err != nil {
+			return nil, err
+		}
+		agree := base.G.NumAtoms() == opt.G.NumAtoms() && semantics.SameTruths(base, opt)
+		if !agree {
+			t.OK = false
+		}
+		t.Add(fmt.Sprintf("dlogTCChain(%d)", n), opt.G.NumAtoms(), dBase, dOpt, speedup(dBase, dOpt), agree)
+
+		// The same closure as an algebra IFP (the P6 workload): the hash
+		// join's index keys are the interned IDs of the join columns.
+		m := n / 2
+		db := FactsDB("move", ChainEdges("move", m))
+		e := TCIFPExpr("move")
+		var bset, oset value.Set
+		value.SetInterning(false)
+		settle()
+		dB := minTimed(reps, func() { bset, err = algebra.NewEvaluator(db, algebra.Budget{}).Eval(e) })
+		if err != nil {
+			return nil, err
+		}
+		value.SetInterning(ambient)
+		settle()
+		dO := minTimed(reps, func() { oset, err = algebra.NewEvaluator(db, algebra.Budget{}).Eval(e) })
+		if err != nil {
+			return nil, err
+		}
+		agreeIFP := value.Equal(bset, oset)
+		if !agreeIFP {
+			t.OK = false
+		}
+		t.Add(fmt.Sprintf("ifpTCChain(%d)", m), oset.Len(), dB, dO, speedup(dB, dO), agreeIFP)
+	}
+	return t, nil
+}

@@ -304,12 +304,8 @@ func snapshotInterp(p *datalog.Program, in *semantics.Interp) DatalogModel {
 	var m DatalogModel
 	for _, pred := range p.Preds() {
 		pf := PredFacts{Pred: pred}
-		for _, f := range in.TrueFacts(pred) {
-			pf.True = append(pf.True, f.Key())
-		}
-		for _, f := range in.UndefFacts(pred) {
-			pf.Undef = append(pf.Undef, f.Key())
-		}
+		pf.True = append(pf.True, in.FactKeysWith(pred, semantics.True)...)
+		pf.Undef = append(pf.Undef, in.FactKeysWith(pred, semantics.Undef)...)
 		m.Preds = append(m.Preds, pf)
 	}
 	return m

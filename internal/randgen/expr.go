@@ -66,11 +66,11 @@ func (x *exprGen) randElem(sh shape) value.Value {
 // empty (empty relations are a prime source of edge cases).
 func (x *exprGen) randSet(sh shape) value.Set {
 	k := x.g.intn(2 * x.g.cfg.Size)
-	elems := make([]value.Value, 0, k)
+	b := value.NewSetBuilder(k)
 	for i := 0; i < k; i++ {
-		elems = append(elems, x.randElem(sh))
+		b.Add(x.randElem(sh))
 	}
-	return value.NewSet(elems...)
+	return b.Set()
 }
 
 // db generates a database of two integer-shaped and two pair-shaped

@@ -1,0 +1,37 @@
+package randgen
+
+import "algrec/internal/value"
+
+// Value generates a random complex-object value of nesting depth at most
+// depth: scalars at depth 0, tuples and sets of smaller values above. The
+// interning property tests use it to exercise hash-consing on deeply nested
+// structures that the expression generators (whose element shapes are flat
+// by construction) never produce.
+func (g *Gen) Value(depth int) value.Value {
+	if depth <= 0 {
+		switch g.intn(4) {
+		case 0:
+			return value.Bool(g.chance(2))
+		case 1:
+			return value.Int(int64(g.intn(20 * g.cfg.Size)))
+		case 2:
+			return value.Int(int64(g.intn(1 << 20))) // off the small-int fast path
+		default:
+			syms := []string{"a", "b", "paris", "x_1", "Quoted Sym", ""}
+			return value.String(syms[g.intn(len(syms))])
+		}
+	}
+	k := g.intn(3 * g.cfg.Size)
+	if g.chance(2) {
+		elems := make([]value.Value, k)
+		for i := range elems {
+			elems[i] = g.Value(depth - 1)
+		}
+		return value.NewTuple(elems...)
+	}
+	b := value.NewSetBuilder(k)
+	for i := 0; i < k; i++ {
+		b.Add(g.Value(depth - 1))
+	}
+	return b.Set()
+}

@@ -99,6 +99,26 @@ func (in *Interp) FactsWith(pred string, v Truth) []datalog.Fact {
 	return out
 }
 
+// FactKeysWith returns the canonical keys of the predicate's facts with the
+// given truth value, in the same fact order as FactsWith. It reads the keys
+// interned with the ground program instead of re-serializing each fact.
+func (in *Interp) FactKeysWith(pred string, v Truth) []string {
+	var ids []int
+	for _, id := range in.G.AtomsOf(pred) {
+		if in.t[id] == v {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return datalog.CompareFacts(in.G.Atom(ids[i]), in.G.Atom(ids[j])) < 0
+	})
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = in.G.AtomKey(id)
+	}
+	return out
+}
+
 // TrueFacts returns the certainly-true facts of the predicate, sorted.
 func (in *Interp) TrueFacts(pred string) []datalog.Fact { return in.FactsWith(pred, True) }
 

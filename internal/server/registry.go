@@ -5,6 +5,8 @@ import (
 	"sync"
 
 	"algrec/internal/algebra"
+	"algrec/internal/value"
+	"algrec/internal/value/intern"
 )
 
 // registry is the in-memory store of named databases. Databases are
@@ -32,8 +34,18 @@ func (r *registry) get(name string) (algebra.DB, bool) {
 	return db, ok
 }
 
-// set registers (or replaces) a database under name.
+// set registers (or replaces) a database under name. The database's values
+// are interned eagerly (outside the lock): the process-global interner is
+// shared by every named database and every concurrent execution, so warming
+// it at registration means each fact is hash-consed once per database load
+// rather than on some request's critical path.
 func (r *registry) set(name string, db algebra.DB) {
+	if value.InterningEnabled() {
+		in := intern.Global()
+		for _, set := range db {
+			in.Intern(set)
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.dbs[name] = db

@@ -1,0 +1,49 @@
+package value
+
+// SetBuilder accumulates elements and canonicalizes once at Set time, instead
+// of paying Insert's binary-search-and-shift per element. It is the right
+// tool wherever a set is grown element-by-element from an unsorted stream:
+// the grounder collecting derived facts, randgen drawing random elements.
+//
+// The zero SetBuilder is ready to use. A builder must not be reused after
+// Set is called.
+type SetBuilder struct {
+	elems []Value
+	done  bool
+}
+
+// NewSetBuilder returns a builder with capacity for n elements.
+func NewSetBuilder(n int) *SetBuilder {
+	return &SetBuilder{elems: make([]Value, 0, n)}
+}
+
+// Add appends v to the pending elements. Duplicates are fine; they are
+// removed when Set canonicalizes.
+func (b *SetBuilder) Add(v Value) {
+	if b.done {
+		panic("value: SetBuilder used after Set")
+	}
+	b.elems = append(b.elems, v)
+}
+
+// Len returns the number of pending elements, duplicates included.
+func (b *SetBuilder) Len() int { return len(b.elems) }
+
+// Set sorts and deduplicates the accumulated elements in place and returns
+// the resulting set. The builder takes ownership of its buffer, so this
+// performs no copy beyond the canonicalization itself.
+func (b *SetBuilder) Set() Set {
+	b.done = true
+	if len(b.elems) == 0 {
+		return Set{}
+	}
+	SortValues(b.elems)
+	out := b.elems[:1]
+	for _, v := range b.elems[1:] {
+		if v.Compare(out[len(out)-1]) != 0 {
+			out = append(out, v)
+		}
+	}
+	b.elems = nil
+	return setFromSorted(out)
+}

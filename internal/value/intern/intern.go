@@ -1,0 +1,369 @@
+// Package intern implements hash-consing for the value model: every
+// value.Value maps to a canonical ID (a uint32, dense from 1), so structural
+// equality becomes integer comparison and nested objects can be built
+// bottom-up from the IDs of their parts without re-hashing their contents.
+//
+// An Interner is an append-only arena plus a sharded hash table. IDs are
+// never reused or reassigned, so a published ID is immutable evidence: two
+// values interned by the same Interner are structurally equal iff their IDs
+// are equal. The process-global interner (Global) additionally writes each
+// value's ID back onto the value's cache cell, which makes re-interning O(1)
+// and lets value.Compare prove equality from two cached IDs without walking
+// either value.
+//
+// Concurrency: Intern, InternTuple, InternSet and InternInt take one shard
+// lock (64 shards) plus a short arena lock on first sight of a value; Lookup
+// is lock-free (an atomic load of the chunk directory). The arena only grows,
+// entries are written before their ID is published, and publication happens
+// under a shard mutex or through an atomic cache-cell store, so readers that
+// hold an ID always observe its fully-written entry. The package is
+// -race-clean under concurrent use from the server's executor pool.
+package intern
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"algrec/internal/value"
+)
+
+// ID is the canonical identifier of an interned value. The zero ID is
+// invalid: real IDs start at 1, so a zero in a cache cell or a row slot
+// unambiguously means "not interned yet".
+type ID uint32
+
+const (
+	nShards   = 64
+	shardMask = nShards - 1
+
+	// chunkBits sizes the arena chunks (4096 entries each). Chunks are never
+	// moved once allocated, so &entry stays valid across growth and the
+	// directory can be republished with a plain copy.
+	chunkBits = 12
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+
+	// smallIntRange bounds the direct-indexed fast path for InternInt: the
+	// workload integers of every experiment (chain node numbers, generated
+	// scalars) land far below it.
+	smallIntRange = 1 << 14
+)
+
+// entry is one arena slot: the canonical value and, for tuples and sets, the
+// IDs of its elements (in tuple order / canonical set order). sub doubles as
+// the structural signature used to verify hash-bucket candidates, so a probe
+// never needs a deep Compare.
+type entry struct {
+	v   value.Value
+	sub []ID // nil for scalars
+}
+
+type shard struct {
+	mu      sync.Mutex
+	buckets map[uint64][]ID
+}
+
+// Interner is a hash-consing arena. The zero value is not usable; construct
+// with New, or use the shared process-global instance from Global.
+type Interner struct {
+	// global marks the process-global interner, the only one allowed to
+	// write IDs into value cache cells (a private interner's IDs would
+	// corrupt the cells for everyone else).
+	global bool
+
+	shards [nShards]shard
+
+	mu   sync.Mutex // guards arena growth (dir republish, next)
+	dir  atomic.Pointer[[]*chunk]
+	next atomic.Uint32 // count of assigned IDs; written under mu
+
+	smallInts []atomic.Uint32 // value.Int(i) -> ID, 0 = not yet consed
+
+	trueID, falseID ID
+}
+
+type chunk struct {
+	entries [chunkSize]entry
+}
+
+// New returns a fresh private interner with its own ID space. Private
+// interners never touch value cache cells; tests use them to exercise the
+// consing logic in isolation.
+func New() *Interner { return newInterner(false) }
+
+var globalInterner = newInterner(true)
+
+// Global returns the process-global interner shared by every engine and, via
+// the server, by all named databases. Its IDs are the ones cached on value
+// cells and used by the Compare fast path.
+func Global() *Interner { return globalInterner }
+
+func newInterner(global bool) *Interner {
+	in := &Interner{
+		global:    global,
+		smallInts: make([]atomic.Uint32, smallIntRange),
+	}
+	for i := range in.shards {
+		in.shards[i].buckets = make(map[uint64][]ID)
+	}
+	dir := make([]*chunk, 0)
+	in.dir.Store(&dir)
+	in.trueID = in.Intern(value.True)
+	in.falseID = in.Intern(value.False)
+	return in
+}
+
+// Enabled reports whether the hash-consed fast paths are enabled process-wide
+// (see value.InterningEnabled). Interners work regardless; the switch only
+// governs whether engines choose the ID-keyed representations.
+func Enabled() bool { return value.InterningEnabled() }
+
+// SetEnabled flips the process-wide fast-path switch and returns the previous
+// setting. cmd/bench -nointern and the diffcheck ablation oracles use it.
+func SetEnabled(on bool) (was bool) { return value.SetInterning(on) }
+
+// Len returns the number of distinct values interned so far.
+func (in *Interner) Len() int { return int(in.next.Load()) }
+
+// Lookup returns the canonical value for id. It is lock-free and safe for
+// concurrent use. Lookup panics if id is zero or was not issued by this
+// interner.
+func (in *Interner) Lookup(id ID) value.Value { return in.entryOf(id).v }
+
+// Elems returns the element IDs of an interned tuple or set (tuple order,
+// respectively canonical set order), or nil for a scalar. The returned slice
+// is owned by the interner and must not be modified.
+func (in *Interner) Elems(id ID) []ID { return in.entryOf(id).sub }
+
+func (in *Interner) entryOf(id ID) *entry {
+	if id == 0 {
+		panic("intern: Lookup of zero ID")
+	}
+	i := uint32(id) - 1
+	dir := *in.dir.Load()
+	return &dir[i>>chunkBits].entries[i&chunkMask]
+}
+
+// Intern returns the canonical ID for v, assigning one if v has not been
+// seen. Nested tuples and sets are consed bottom-up, so a second Intern of a
+// structurally equal value — however it was built — returns the same ID.
+func (in *Interner) Intern(v value.Value) ID {
+	if in.global {
+		if id := value.InternID(v); id != 0 {
+			return ID(id)
+		}
+	}
+	switch vv := v.(type) {
+	case value.Bool:
+		// trueID/falseID are 0 only during newInterner's own bootstrap.
+		if vv && in.trueID != 0 {
+			return in.trueID
+		}
+		if !vv && in.falseID != 0 {
+			return in.falseID
+		}
+		return in.internScalar(v, hashBool(bool(vv)))
+	case value.Int:
+		return in.InternInt(int64(vv))
+	case value.String:
+		return in.internScalar(v, hashString(string(vv)))
+	case value.Tuple:
+		ids := make([]ID, vv.Len())
+		for i := range ids {
+			ids[i] = in.Intern(vv.At(i))
+		}
+		return in.internNode(value.KindTuple, ids, v)
+	case value.Set:
+		ids := make([]ID, vv.Len())
+		for i := range ids {
+			ids[i] = in.Intern(vv.At(i))
+		}
+		return in.internNode(value.KindSet, ids, v)
+	default:
+		panic("intern: unknown value kind")
+	}
+}
+
+// InternInt returns the canonical ID for the integer i. Small non-negative
+// integers resolve through a direct-indexed array: one atomic load on a hit.
+func (in *Interner) InternInt(i int64) ID {
+	if i >= 0 && i < smallIntRange {
+		if id := in.smallInts[i].Load(); id != 0 {
+			return ID(id)
+		}
+		id := in.internScalar(value.Int(i), hashInt(i))
+		in.smallInts[i].Store(uint32(id))
+		return id
+	}
+	return in.internScalar(value.Int(i), hashInt(i))
+}
+
+// InternTuple returns the canonical ID of the tuple whose elements are the
+// given already-interned IDs, materializing the tuple value only on first
+// sight. This is the consing constructor the grounder's fact store uses to
+// turn a projected ID row into a single map key.
+func (in *Interner) InternTuple(ids ...ID) ID {
+	return in.internNode(value.KindTuple, ids, nil)
+}
+
+// InternSet returns the canonical ID of the set of the given already-interned
+// element IDs. The elements are canonicalized (sorted by the value order,
+// deduplicated) first, so InternSet agrees with Intern of the equivalent
+// value.NewSet regardless of input order.
+func (in *Interner) InternSet(ids ...ID) ID {
+	cp := make([]ID, len(ids))
+	copy(cp, ids)
+	sort.Slice(cp, func(i, j int) bool {
+		return in.Lookup(cp[i]).Compare(in.Lookup(cp[j])) < 0
+	})
+	out := cp[:0]
+	for _, id := range cp {
+		// Equal values have equal IDs here, so adjacent-ID dedup is exact.
+		if len(out) == 0 || out[len(out)-1] != id {
+			out = append(out, id)
+		}
+	}
+	return in.internNode(value.KindSet, out, nil)
+}
+
+// internScalar interns a bool, int or string by content hash.
+func (in *Interner) internScalar(v value.Value, h uint64) ID {
+	sh := &in.shards[h&shardMask]
+	sh.mu.Lock()
+	for _, cand := range sh.buckets[h] {
+		if value.Equal(in.entryOf(cand).v, v) {
+			sh.mu.Unlock()
+			return cand
+		}
+	}
+	id := in.alloc(v, nil)
+	sh.buckets[h] = append(sh.buckets[h], id)
+	sh.mu.Unlock()
+	return id
+}
+
+// internNode interns a tuple or set given its element IDs. v is the original
+// value when the caller has one (Intern) and nil when the node is built from
+// IDs alone (InternTuple/InternSet); in the latter case the canonical value
+// is materialized from the arena on first sight.
+func (in *Interner) internNode(kind value.Kind, ids []ID, v value.Value) ID {
+	h := hashIDs(kind, ids)
+	sh := &in.shards[h&shardMask]
+	sh.mu.Lock()
+	for _, cand := range sh.buckets[h] {
+		e := in.entryOf(cand)
+		if e.v.Kind() == kind && idsEqual(e.sub, ids) {
+			sh.mu.Unlock()
+			if in.global && v != nil {
+				value.CacheInternID(v, uint32(cand))
+			}
+			return cand
+		}
+	}
+	if v == nil {
+		v = in.materialize(kind, ids)
+	}
+	sub := make([]ID, len(ids)) // own the signature: callers may reuse ids
+	copy(sub, ids)
+	id := in.alloc(v, sub)
+	sh.buckets[h] = append(sh.buckets[h], id)
+	sh.mu.Unlock()
+	if in.global {
+		value.CacheInternID(v, uint32(id))
+	}
+	return id
+}
+
+// materialize builds the value for a node interned from IDs alone.
+func (in *Interner) materialize(kind value.Kind, ids []ID) value.Value {
+	elems := make([]value.Value, len(ids))
+	for i, id := range ids {
+		elems[i] = in.Lookup(id)
+	}
+	if kind == value.KindTuple {
+		return value.NewTuple(elems...)
+	}
+	// ids are already in canonical set order; NewSet just re-verifies that.
+	return value.NewSet(elems...)
+}
+
+// alloc appends a fully-written entry to the arena and returns its new ID.
+// Callers publish the ID (bucket append under the shard mutex, or an atomic
+// cache-cell store) only after alloc returns, which is what makes lock-free
+// Lookup safe.
+func (in *Interner) alloc(v value.Value, sub []ID) ID {
+	in.mu.Lock()
+	i := in.next.Load()
+	ci, off := int(i>>chunkBits), i&chunkMask
+	dir := *in.dir.Load()
+	if ci >= len(dir) {
+		nd := make([]*chunk, ci+1)
+		copy(nd, dir)
+		nd[ci] = &chunk{}
+		in.dir.Store(&nd)
+		dir = nd
+	}
+	dir[ci].entries[off] = entry{v: v, sub: sub}
+	in.next.Store(i + 1)
+	in.mu.Unlock()
+	return ID(i + 1)
+}
+
+func idsEqual(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap full-avalanche mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Kind seeds keep hashes of different kinds decorrelated even for equal
+// payload bits (Int(1) vs an ID sequence [1]).
+const (
+	seedBool   = 0x42085931bca93457
+	seedInt    = 0x9e3779b97f4a7c15
+	seedString = 0xc2b2ae3d27d4eb4f
+	seedNode   = 0x2545f4914f6cdd1d
+)
+
+func hashBool(b bool) uint64 {
+	if b {
+		return mix64(seedBool ^ 1)
+	}
+	return mix64(seedBool)
+}
+
+func hashInt(i int64) uint64 { return mix64(seedInt ^ uint64(i)) }
+
+// hashString is FNV-1a folded through mix64.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(seedString ^ h)
+}
+
+func hashIDs(kind value.Kind, ids []ID) uint64 {
+	h := mix64(seedNode ^ uint64(kind))
+	for _, id := range ids {
+		h = mix64(h ^ uint64(id))
+	}
+	return mix64(h ^ uint64(len(ids)))
+}

@@ -1,0 +1,69 @@
+package intern_test
+
+// External test package: these tests drive the interner with randgen's value
+// generator, and randgen (via internal/algebra) itself depends on intern —
+// an import cycle if they lived in the internal test package.
+
+import (
+	"sync"
+	"testing"
+
+	"algrec/internal/randgen"
+	"algrec/internal/value"
+	"algrec/internal/value/intern"
+)
+
+// TestInternProperty is the satellite property test: on randomly generated
+// deeply nested values, Lookup∘Intern is the identity and Intern is injective
+// (equal IDs iff structurally equal values).
+func TestInternProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in := intern.New()
+		g := randgen.New(seed, randgen.Config{Size: 3})
+		vals := make([]value.Value, 60)
+		ids := make([]intern.ID, len(vals))
+		for i := range vals {
+			vals[i] = g.Value(3)
+			ids[i] = in.Intern(vals[i])
+			if got := in.Lookup(ids[i]); !value.Equal(got, vals[i]) {
+				t.Fatalf("seed %d: Lookup∘Intern != id for %v (got %v)", seed, vals[i], got)
+			}
+		}
+		for i := range vals {
+			for j := range vals {
+				eq := value.Equal(vals[i], vals[j])
+				if eq != (ids[i] == ids[j]) {
+					t.Fatalf("seed %d: Equal=%v but ids %d vs %d for %v / %v",
+						seed, eq, ids[i], ids[j], vals[i], vals[j])
+				}
+			}
+		}
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	in := intern.New()
+	const workers = 8
+	ids := make([][]intern.ID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := randgen.New(99, randgen.Config{Size: 3}) // same seed: same values
+			for i := 0; i < 40; i++ {
+				ids[w] = append(ids[w], in.Intern(g.Value(3)))
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range ids[0] {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d interned value %d to ID %d, worker 0 got %d",
+					w, i, ids[w][i], ids[0][i])
+			}
+		}
+	}
+}

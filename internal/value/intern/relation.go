@@ -1,0 +1,139 @@
+package intern
+
+// Relation is a compact fixed-arity relation over interned values: rows are
+// ID tuples stored back-to-back in one flat []ID, with an open-addressed
+// integer hash index for O(1) membership and insert-if-absent — no per-row
+// bucket allocations, so inserting n rows costs O(n) words total. Row
+// indices are dense from 0 in insertion order, so a Relation doubles as an
+// append-only log of derivations — the grounder's delta passes window it by
+// row index exactly like the string-keyed store windows its atom slice.
+//
+// A Relation is not safe for concurrent mutation; each grounding or fixpoint
+// run owns its relations. (The shared structure — the Interner the IDs come
+// from — is what the server's concurrent executions share.)
+type Relation struct {
+	arity int
+	rows  []ID    // len = Len()*arity; flat row-major storage
+	n     int     // row count, explicit so arity-0 relations work
+	table []int32 // open-addressed slots: row index + 1, 0 = empty
+	mask  uint32  // len(table)-1; table size is a power of two
+}
+
+// relationMinTable is the initial open-addressing table size (power of two).
+const relationMinTable = 16
+
+// NewRelation returns an empty relation of the given arity. Arity 0 models
+// propositional predicates: the relation is either empty or holds the single
+// empty row.
+func NewRelation(arity int) *Relation {
+	return &Relation{arity: arity, table: make([]int32, relationMinTable), mask: relationMinTable - 1}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return r.n }
+
+// Row returns the i-th row as a view into the relation's storage. The slice
+// must not be modified and is only valid until the next Insert (growth may
+// move the backing array).
+func (r *Relation) Row(i int) []ID {
+	if r.arity == 0 {
+		return nil
+	}
+	return r.rows[i*r.arity : (i+1)*r.arity : (i+1)*r.arity]
+}
+
+// probe linearly scans the table from row's hash slot; it returns the slot
+// holding the row (idx >= 0) or the first empty slot (idx == -1).
+func (r *Relation) probe(row []ID) (slot uint32, idx int) {
+	slot = uint32(hashRow(row)) & r.mask
+	for {
+		ri := r.table[slot]
+		if ri == 0 {
+			return slot, -1
+		}
+		if idsEqual(r.Row(int(ri-1)), row) {
+			return slot, int(ri - 1)
+		}
+		slot = (slot + 1) & r.mask
+	}
+}
+
+// Find returns the index of row and true if present.
+func (r *Relation) Find(row []ID) (int, bool) {
+	if len(row) != r.arity {
+		panic("intern: Relation row arity mismatch")
+	}
+	if r.arity == 0 {
+		if r.n > 0 {
+			return 0, true
+		}
+		return -1, false
+	}
+	if _, idx := r.probe(row); idx >= 0 {
+		return idx, true
+	}
+	return -1, false
+}
+
+// Has reports whether row is present.
+func (r *Relation) Has(row []ID) bool {
+	_, ok := r.Find(row)
+	return ok
+}
+
+// Insert adds row if absent. It returns the row's index and whether it was
+// newly added. The input slice is copied into the flat storage.
+func (r *Relation) Insert(row []ID) (idx int, added bool) {
+	if len(row) != r.arity {
+		panic("intern: Relation row arity mismatch")
+	}
+	if r.arity == 0 {
+		if r.n > 0 {
+			return 0, false
+		}
+		r.n = 1
+		return 0, true
+	}
+	slot, ri := r.probe(row)
+	if ri >= 0 {
+		return ri, false
+	}
+	idx = r.n
+	r.rows = append(r.rows, row...)
+	r.n++
+	// Grow at 3/4 load so probe chains stay short; otherwise claim the slot
+	// the failed probe found.
+	if uint32(r.n)*4 > (r.mask+1)*3 {
+		r.grow()
+	} else {
+		r.table[slot] = int32(idx + 1)
+	}
+	return idx, true
+}
+
+// grow doubles the table and rehashes every row into it.
+func (r *Relation) grow() {
+	size := (r.mask + 1) * 2
+	r.table = make([]int32, size)
+	r.mask = size - 1
+	for i := 0; i < r.n; i++ {
+		slot := uint32(hashRow(r.Row(i))) & r.mask
+		for r.table[slot] != 0 {
+			slot = (slot + 1) & r.mask
+		}
+		r.table[slot] = int32(i + 1)
+	}
+}
+
+// hashRow hashes an ID row with the same mixer as the interner's node hash
+// (no kind seed: rows are not values and live in their own table).
+func hashRow(row []ID) uint64 {
+	h := uint64(seedNode)
+	for _, id := range row {
+		h = mix64(h ^ uint64(id))
+	}
+	return mix64(h ^ uint64(len(row)))
+}

@@ -10,6 +10,7 @@ import (
 // empty set (the algebra's EMPTY constant).
 type Set struct {
 	elems []Value // sorted, deduplicated; never mutated after construction
+	c     *vcache // shared by copies; nil for the zero Set
 }
 
 // EmptySet is the empty set.
@@ -34,15 +35,19 @@ func NewSet(elems ...Value) Set {
 			out = append(out, v)
 		}
 	}
-	return Set{elems: out}
+	return setFromSorted(out)
 }
 
 // setFromSorted wraps an already-sorted, already-deduplicated slice without
 // copying. Callers must not retain the slice.
-func setFromSorted(elems []Value) Set { return Set{elems: elems} }
+func setFromSorted(elems []Value) Set { return Set{elems: elems, c: &vcache{}} }
 
 // Len returns the number of elements.
 func (s Set) Len() int { return len(s.elems) }
+
+// At returns the i-th element in sorted order, 0-based, without copying the
+// element slice. It panics if i is out of range.
+func (s Set) At(i int) Value { return s.elems[i] }
 
 // IsEmpty reports whether the set has no elements.
 func (s Set) IsEmpty() bool { return len(s.elems) == 0 }
@@ -215,7 +220,7 @@ func (s Set) Product(t Set) Set {
 	out := make([]Value, 0, len(s.elems)*len(t.elems))
 	for _, a := range s.elems {
 		for _, b := range t.elems {
-			out = append(out, Pair(a, b))
+			out = append(out, tupleFromOwned([]Value{a, b}))
 		}
 	}
 	// Pairs of sorted factors are produced in sorted order already, but we
@@ -250,11 +255,21 @@ func (s Set) Compare(other Value) int {
 	if c := compareKinds(s, other); c != 0 {
 		return c
 	}
-	return compareSlices(s.elems, other.(Set).elems)
+	o := other.(Set)
+	if cachedEqual(s.c, o.c) {
+		return 0
+	}
+	return compareSlices(s.elems, o.elems)
 }
 
-// String implements Value.
+// String implements Value. The encoding is computed once per set and cached;
+// copies share the cache.
 func (s Set) String() string {
+	if s.c != nil {
+		if cached := s.c.str.Load(); cached != nil {
+			return *cached
+		}
+	}
 	var sb strings.Builder
 	sb.WriteByte('{')
 	for i, e := range s.elems {
@@ -264,7 +279,11 @@ func (s Set) String() string {
 		sb.WriteString(e.String())
 	}
 	sb.WriteByte('}')
-	return sb.String()
+	out := sb.String()
+	if s.c != nil {
+		s.c.str.Store(&out)
+	}
+	return out
 }
 
 // Map returns the set {f(x) : x ∈ s}, the semantic core of the algebra's

@@ -20,7 +20,87 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
+
+// interning is the process-wide switch for the hash-consed fast paths: the
+// cached-intern-id equality shortcut in Compare and every caller that picks
+// between an intern.ID-keyed and a string-keyed representation (the grounder's
+// fact store, the algebra hash join). It defaults to on; cmd/bench -nointern
+// and the diffcheck intern oracles turn it off to pin bit-for-bit equivalence
+// of the two representations. The switch changes cost only, never results.
+var interning atomic.Bool
+
+func init() { interning.Store(true) }
+
+// InterningEnabled reports whether the hash-consed fast paths are enabled.
+func InterningEnabled() bool { return interning.Load() }
+
+// SetInterning enables or disables the hash-consed fast paths process-wide
+// and returns the previous setting (so ablations can restore it).
+func SetInterning(on bool) (was bool) { return interning.Swap(on) }
+
+// vcache is the mutable cache cell shared by all copies of one Tuple or Set:
+// the canonical String() encoding, computed at most once, and the value's
+// process-global intern id (0 while unassigned — intern ids start at 1).
+// Both fields are monotonic (unset → set-once), so racing writers agree and
+// atomic access keeps readers race-clean.
+type vcache struct {
+	str atomic.Pointer[string]
+	id  atomic.Uint32
+}
+
+// cachedEqual reports whether two cache cells prove their owners equal: the
+// same cell (copies of one value), or both carrying the same nonzero
+// process-global intern id. It never proves inequality — ids may simply not
+// be assigned yet — so callers fall through to the structural comparison.
+func cachedEqual(a, b *vcache) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if !interning.Load() {
+		return false
+	}
+	ida := a.id.Load()
+	return ida != 0 && ida == b.id.Load()
+}
+
+// InternID returns the process-global intern id cached on v, or 0 when none
+// is assigned (scalars and the zero Set have no cache cell). It is the seam
+// internal/value/intern uses to make re-interning a value O(1).
+func InternID(v Value) uint32 {
+	switch vv := v.(type) {
+	case Tuple:
+		if vv.c != nil {
+			return vv.c.id.Load()
+		}
+	case Set:
+		if vv.c != nil {
+			return vv.c.id.Load()
+		}
+	}
+	return 0
+}
+
+// CacheInternID records the process-global intern id on v's cache cell. It
+// is a no-op for scalar values and the zero Set, which have no cell. Only
+// the process-global interner may call it — private interners caching their
+// ids here would corrupt every other user of the cell.
+func CacheInternID(v Value, id uint32) {
+	switch vv := v.(type) {
+	case Tuple:
+		if vv.c != nil {
+			vv.c.id.Store(id)
+		}
+	case Set:
+		if vv.c != nil {
+			vv.c.id.Store(id)
+		}
+	}
+}
 
 // Kind identifies the variant of a Value.
 type Kind uint8
@@ -81,6 +161,7 @@ type String string
 // Tuple is an ordered, fixed-length sequence of values.
 type Tuple struct {
 	elems []Value
+	c     *vcache // shared by copies; nil only for the zero Tuple
 }
 
 func (Bool) isValue()   {}
@@ -111,8 +192,11 @@ var (
 func NewTuple(elems ...Value) Tuple {
 	cp := make([]Value, len(elems))
 	copy(cp, elems)
-	return Tuple{elems: cp}
+	return Tuple{elems: cp, c: &vcache{}}
 }
+
+// tupleFromOwned wraps a slice the caller promises not to retain.
+func tupleFromOwned(elems []Value) Tuple { return Tuple{elems: elems, c: &vcache{}} }
 
 // Pair returns the 2-tuple [a, b], the element shape produced by the
 // algebra's cartesian product.
@@ -177,6 +261,9 @@ func (t Tuple) Compare(other Value) int {
 		return c
 	}
 	o := other.(Tuple)
+	if cachedEqual(t.c, o.c) {
+		return 0
+	}
 	return compareSlices(t.elems, o.elems)
 }
 
@@ -255,8 +342,14 @@ func isBareSymbol(s string) bool {
 	return true
 }
 
-// String implements Value.
+// String implements Value. The encoding is computed once per tuple and
+// cached; copies share the cache.
 func (t Tuple) String() string {
+	if t.c != nil {
+		if s := t.c.str.Load(); s != nil {
+			return *s
+		}
+	}
 	var sb strings.Builder
 	sb.WriteByte('(')
 	for i, e := range t.elems {
@@ -266,7 +359,11 @@ func (t Tuple) String() string {
 		sb.WriteString(e.String())
 	}
 	sb.WriteByte(')')
-	return sb.String()
+	s := sb.String()
+	if t.c != nil {
+		t.c.str.Store(&s)
+	}
+	return s
 }
 
 // Key returns the canonical map key for v. It is v.String(); the alias exists
