@@ -1,5 +1,5 @@
 # Tier-1 verification: everything CI gates on.
-.PHONY: all check race bench bench-delta bench-intern bench-check fuzz-smoke test test-server serve vet lint docs-fresh build clean
+.PHONY: all check race bench bench-delta bench-intern bench-stream bench-check fuzz-smoke test test-server serve vet lint docs-fresh build clean
 
 all: check
 
@@ -27,11 +27,11 @@ serve:
 	go run ./cmd/algrecd -db g=internal/server/testdata/graph.alg
 
 # lint gates documentation: every package needs a package doc comment, and
-# the theorem-bearing packages (semantics, translate) plus the delta-engine
-# packages (algebra, core) must document every exported declaration.
-# doccheck is stdlib-only (tools/doccheck).
+# the theorem-bearing packages (semantics, translate) plus the engine
+# packages (algebra and its stream iterator layer, core) must document every
+# exported declaration. doccheck is stdlib-only (tools/doccheck).
 lint: vet
-	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server,internal/value/intern .
+	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/algebra/stream,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server,internal/value/intern .
 
 # docs-fresh regenerates EXPERIMENTS.md's tables from the committed record
 # (internal/expt/recorded/run.json) and fails if the committed document was
@@ -48,7 +48,7 @@ docs-fresh:
 # under the race detector; diffcheck rides along because its clean-sweep
 # test drives every engine from parallel subtests.
 race:
-	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/randgen ./internal/diffcheck ./internal/server ./internal/query ./internal/value ./internal/value/intern
+	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/algebra/stream ./internal/randgen ./internal/diffcheck ./internal/server ./internal/query ./internal/value ./internal/value/intern
 
 # bench runs the full benchmark suite once per target (see also cmd/bench).
 bench:
@@ -75,7 +75,7 @@ bench-check:
 fuzz-smoke:
 	@for t in ExprSemiNaive ExprIFPElim CoreValid CoreInflationary CoreWellFounded \
 	          DlogTheorem62 DlogTheorem43 DlogMinimal DlogStratified DlogStable \
-	          ExprIntern DlogIntern; do \
+	          ExprIntern DlogIntern ExprStream DlogStream; do \
 		go test ./internal/diffcheck -run '^$$' -fuzz "^Fuzz$$t\$$" -fuzztime 10s || exit 1; \
 	done
 
@@ -85,6 +85,12 @@ fuzz-smoke:
 bench-intern:
 	go test ./internal/value/intern -run XXX -bench . -benchmem
 	go run ./cmd/bench -only P8
+
+# bench-stream measures the streaming execution runtime alone: the P9 macro
+# A/B (lazy pushdown/hash-join pipelines vs the -nostreaming materialized
+# baseline, per-call Budget switch).
+bench-stream:
+	go run ./cmd/bench -only P9
 
 clean:
 	go clean ./...

@@ -135,6 +135,13 @@ func BenchmarkP8Interning(b *testing.B) {
 	runSuite(b, func() (*expt.Table, error) { return expt.RunP8([]int{256}) })
 }
 
+// BenchmarkP9Streaming runs the streaming-runtime A/B at one size; the
+// acceptance bar for the pipeline runtime is the streaming column beating
+// the -nostreaming baseline by >= 1.5x on the product-select workload.
+func BenchmarkP9Streaming(b *testing.B) {
+	runSuite(b, func() (*expt.Table, error) { return expt.RunP9([]int{256}) })
+}
+
 // Micro-benchmarks of the individual engines.
 
 func BenchmarkGroundTC(b *testing.B) {

@@ -1,4 +1,4 @@
-// Command bench runs the experiment suite (DESIGN.md's E1–E11, P1–P7 and
+// Command bench runs the experiment suite (DESIGN.md's E1–E11, P1–P9 and
 // A1–A4) and prints one table per experiment. With -markdown the output is
 // the GitHub-flavored markdown recorded in EXPERIMENTS.md. With -parallel
 // independent suites and workload sizes run concurrently on a
@@ -11,7 +11,7 @@
 // Usage:
 //
 //	bench [-scale N] [-markdown] [-only E9] [-parallel] [-noseminaive]
-//	      [-nointern] [-json path] [-trace path] [-pprof dir]
+//	      [-nointern] [-nostreaming] [-json path] [-trace path] [-pprof dir]
 //	bench -render record.json [-update EXPERIMENTS.md]
 //
 // -noseminaive disables the semi-naive delta fixpoint engine process-wide
@@ -24,6 +24,12 @@
 // strings and the hash join keys its index by string encodings instead of
 // interned IDs — the baseline of the P8 ablation. Results are identical
 // either way.
+//
+// -nostreaming disables the streaming execution runtime process-wide
+// (algebra.DefaultBudget.NoStreaming): σ/MAP pipelines over products are
+// fully materialized operator by operator instead of planned into lazy
+// pushdown/hash-join iterators — the baseline of the P9 ablation. Results
+// are identical either way.
 //
 // -json accepts either a file name or an existing directory; a directory
 // gets a BENCH_<stamp>.json file created inside it. Serial runs attribute
@@ -65,13 +71,14 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run independent suites and workload sizes concurrently")
 	noSemiNaive := flag.Bool("noseminaive", false, "disable the semi-naive delta fixpoint engine (A4 ablation baseline)")
 	noIntern := flag.Bool("nointern", false, "disable hash-consed value interning (P8 ablation baseline)")
+	noStreaming := flag.Bool("nostreaming", false, "disable the streaming execution runtime (P9 ablation baseline)")
 	jsonPath := flag.String("json", "", "write an expt.Record report to this file (or BENCH_<stamp>.json inside this directory)")
 	tracePath := flag.String("trace", "", "stream observability events as JSON lines to this file")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	render := flag.String("render", "", "render EXPERIMENTS.md tables from this record file instead of running experiments")
 	update := flag.String("update", "", "with -render: splice the rendered section into this markdown file in place")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "Usage: bench [-scale N] [-markdown] [-only ID] [-parallel] [-noseminaive] [-nointern] [-json path] [-trace path] [-pprof dir]")
+		fmt.Fprintln(os.Stderr, "Usage: bench [-scale N] [-markdown] [-only ID] [-parallel] [-noseminaive] [-nointern] [-nostreaming] [-json path] [-trace path] [-pprof dir]")
 		fmt.Fprintln(os.Stderr, "       bench -render record.json [-update EXPERIMENTS.md]")
 		flag.PrintDefaults()
 	}
@@ -99,6 +106,12 @@ func main() {
 		// dedup and the hash join to string-keyed indexes. Results are
 		// identical either way; P8 measures the difference.
 		value.SetInterning(false)
+	}
+	if *noStreaming {
+		// Budget.WithDefaults ORs this in, so every evaluator built during
+		// the run materializes its pipelines. Results are identical either
+		// way; P9 measures the difference.
+		algebra.DefaultBudget.NoStreaming = true
 	}
 
 	suites := expt.DefaultSuites(*scale)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"algrec/internal/algebra"
 	"algrec/internal/value"
 )
 
@@ -56,5 +57,15 @@ func TestGolden(t *testing.T) { runGolden(t) }
 func TestGoldenNoIntern(t *testing.T) {
 	was := value.SetInterning(false)
 	defer value.SetInterning(was)
+	runGolden(t)
+}
+
+// TestGoldenNoStreaming replays the same golden cases with the streaming
+// execution runtime disabled (the cmd/bench -nostreaming ablation): full
+// operator-by-operator materialization must reproduce every byte of output.
+func TestGoldenNoStreaming(t *testing.T) {
+	was := algebra.DefaultBudget.NoStreaming
+	algebra.DefaultBudget.NoStreaming = true
+	defer func() { algebra.DefaultBudget.NoStreaming = was }()
 	runGolden(t)
 }

@@ -26,6 +26,15 @@ type Budget struct {
 	// WithDefaults ORs in DefaultBudget.NoSemiNaive, so cmd/bench
 	// -noseminaive can disable the engine process-wide.
 	NoSemiNaive bool
+	// NoStreaming disables the streaming execution runtime (see
+	// streameval.go): σ/MAP pipelines over products are fully materialized
+	// operator by operator instead of planned into lazy hash-join iterators.
+	// Results are identical either way on error-free evaluations; only
+	// budget boundaries differ (the materialized path also bounds
+	// intermediate products). WithDefaults ORs in
+	// DefaultBudget.NoStreaming, so cmd/bench -nostreaming can disable the
+	// runtime process-wide; the P9 experiment measures the cost.
+	NoStreaming bool
 	// Interrupt, when non-nil, is polled between fixpoint rounds (never
 	// inside one): once the channel is closed, evaluation stops with an
 	// error wrapping ErrCanceled. Callers with a context map ctx.Done()
@@ -52,6 +61,7 @@ func (b Budget) WithDefaults() Budget {
 		b.MaxDepth = DefaultBudget.MaxDepth
 	}
 	b.NoSemiNaive = b.NoSemiNaive || DefaultBudget.NoSemiNaive
+	b.NoStreaming = b.NoStreaming || DefaultBudget.NoStreaming
 	return b
 }
 
@@ -173,6 +183,11 @@ func (ev *Evaluator) eval(e Expr, local map[string]value.Set) (value.Set, error)
 		}
 		return l.Product(r), nil
 	case Select:
+		if !ev.Budget.NoStreaming && StreamEligible(e) {
+			return StreamEval(e, ev.Budget, ev.obs, func(sub Expr) (value.Set, error) {
+				return ev.eval(sub, local)
+			})
+		}
 		if prod, isProd := ee.Of.(Product); isProd && !ev.Budget.NoHashJoin {
 			if lks, rks, ok := EquiJoinKeys(ee.Var, ee.Test); ok {
 				l, err := ev.eval(prod.L, local)
@@ -203,6 +218,11 @@ func (ev *Evaluator) eval(e Expr, local map[string]value.Set) (value.Set, error)
 			return EvalTest(ee.Test, FEnv{ee.Var: v})
 		})
 	case Map:
+		if !ev.Budget.NoStreaming && StreamEligible(e) {
+			return StreamEval(e, ev.Budget, ev.obs, func(sub Expr) (value.Set, error) {
+				return ev.eval(sub, local)
+			})
+		}
 		of, err := ev.eval(ee.Of, local)
 		if err != nil {
 			return value.Set{}, err

@@ -1,0 +1,203 @@
+// Package stream is the lazy pull-iterator substrate of the streaming
+// execution runtime: a minimal Iterator interface over complex-object
+// values, composable filter/transform/concatenation adapters, and a
+// bounded Collect that folds a pipeline back into a canonical value.Set.
+//
+// The package deliberately knows nothing about the algebra: operators that
+// need selection tests or MAP bodies (internal/algebra's FExpr) are built
+// in internal/algebra on top of these primitives, which keeps the import
+// direction acyclic (algebra → stream → value). What lives here is the
+// protocol — Next returns (element, true, nil) until the stream is
+// exhausted, then (nil, false, nil); an error aborts the pipeline — and
+// the adapters that need only the protocol.
+//
+// Iterators are single-use, not safe for concurrent use, and lazy: no
+// element is produced before the first Next, and abandoning an iterator
+// midway costs nothing. A pipeline's peak memory is its source sets plus
+// the collected output, never a materialized intermediate — that is the
+// whole point (see docs/architecture.md for the streaming vs materialized
+// execution paths and docs/planner.md for how internal/algebra plans join
+// pipelines over this package).
+package stream
+
+import (
+	"errors"
+
+	"algrec/internal/value"
+)
+
+// Iterator is a pull cursor over a finite stream of values. Next returns
+// the next element with ok=true, or ok=false once the stream is exhausted.
+// A non-nil error aborts the stream; callers must not call Next again
+// after either ok=false or an error.
+type Iterator interface {
+	Next() (v value.Value, ok bool, err error)
+}
+
+// ErrLimit is returned by Collect when the collected set would exceed the
+// size limit. Callers translate it into their own budget-error type
+// (internal/algebra wraps it into ErrBudget).
+var ErrLimit = errors.New("stream: collected set exceeds the size limit")
+
+// setIter iterates a value.Set in its canonical sorted order.
+type setIter struct {
+	s value.Set
+	i int
+}
+
+// FromSet returns an iterator over the set's elements in canonical order.
+func FromSet(s value.Set) Iterator { return &setIter{s: s} }
+
+// Next implements Iterator.
+func (it *setIter) Next() (value.Value, bool, error) {
+	if it.i >= it.s.Len() {
+		return nil, false, nil
+	}
+	v := it.s.At(it.i)
+	it.i++
+	return v, true, nil
+}
+
+// sliceIter iterates a slice in order. The slice is not copied.
+type sliceIter struct {
+	vs []value.Value
+	i  int
+}
+
+// FromSlice returns an iterator over the slice's elements in order. The
+// slice is aliased, not copied; the caller must not mutate it while the
+// iterator is live.
+func FromSlice(vs []value.Value) Iterator { return &sliceIter{vs: vs} }
+
+// Next implements Iterator.
+func (it *sliceIter) Next() (value.Value, bool, error) {
+	if it.i >= len(it.vs) {
+		return nil, false, nil
+	}
+	v := it.vs[it.i]
+	it.i++
+	return v, true, nil
+}
+
+// filter passes through the elements satisfying the predicate.
+type filter struct {
+	in   Iterator
+	keep func(value.Value) (bool, error)
+}
+
+// Filter returns an iterator over in's elements for which keep returns
+// true. A predicate error aborts the stream.
+func Filter(in Iterator, keep func(value.Value) (bool, error)) Iterator {
+	return &filter{in: in, keep: keep}
+}
+
+// Next implements Iterator, skipping elements the predicate rejects.
+func (it *filter) Next() (value.Value, bool, error) {
+	for {
+		v, ok, err := it.in.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		keep, err := it.keep(v)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return v, true, nil
+		}
+	}
+}
+
+// transform applies a function to every element.
+type transform struct {
+	in Iterator
+	f  func(value.Value) (value.Value, error)
+}
+
+// Transform returns an iterator applying f to every element of in (the
+// streaming form of the algebra's MAP). Output elements are not
+// deduplicated here; Collect canonicalizes.
+func Transform(in Iterator, f func(value.Value) (value.Value, error)) Iterator {
+	return &transform{in: in, f: f}
+}
+
+// Next implements Iterator, returning f of the next input element.
+func (it *transform) Next() (value.Value, bool, error) {
+	v, ok, err := it.in.Next()
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	out, err := it.f(v)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// concat drains a sequence of iterators in order.
+type concat struct {
+	its []Iterator
+	i   int
+}
+
+// Concat returns an iterator draining each input iterator in order (the
+// streaming form of union; duplicates across inputs are resolved by
+// Collect's canonicalization).
+func Concat(its ...Iterator) Iterator { return &concat{its: its} }
+
+// Next implements Iterator, moving to the next input when one drains.
+func (it *concat) Next() (value.Value, bool, error) {
+	for it.i < len(it.its) {
+		v, ok, err := it.its[it.i].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return v, true, nil
+		}
+		it.i++
+	}
+	return nil, false, nil
+}
+
+// Counted returns an iterator that increments *n for every element pulled
+// through it — the hook the observability layer uses to count scanned and
+// emitted elements without the adapters knowing about collectors.
+func Counted(in Iterator, n *int) Iterator {
+	return Transform(in, func(v value.Value) (value.Value, error) {
+		*n++
+		return v, nil
+	})
+}
+
+// Collect drains the iterator into a canonical (sorted, deduplicated)
+// value.Set. When maxSize > 0, the collected set is bounded: the buffer is
+// compacted to a set whenever it doubles past the limit, and ErrLimit is
+// returned as soon as the deduplicated size alone exceeds maxSize, so a
+// pipeline over a huge cross product aborts after O(maxSize) buffered
+// elements instead of materializing the stream.
+func Collect(it Iterator, maxSize int) (value.Set, error) {
+	var buf []value.Value
+	for {
+		v, ok, err := it.Next()
+		if err != nil {
+			return value.Set{}, err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, v)
+		if maxSize > 0 && len(buf) > 2*maxSize {
+			s := value.NewSet(buf...)
+			if s.Len() > maxSize {
+				return value.Set{}, ErrLimit
+			}
+			buf = append(buf[:0], s.Elems()...)
+		}
+	}
+	s := value.NewSet(buf...)
+	if maxSize > 0 && s.Len() > maxSize {
+		return value.Set{}, ErrLimit
+	}
+	return s, nil
+}

@@ -1,0 +1,123 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+
+	"algrec/internal/value"
+)
+
+func ints(ns ...int64) []value.Value {
+	out := make([]value.Value, len(ns))
+	for i, n := range ns {
+		out[i] = value.Int(n)
+	}
+	return out
+}
+
+func drain(t *testing.T, it Iterator) []value.Value {
+	t.Helper()
+	var out []value.Value
+	for {
+		v, ok, err := it.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func TestFromSetCanonicalOrder(t *testing.T) {
+	s := value.NewSet(ints(3, 1, 2, 1)...)
+	got := drain(t, FromSet(s))
+	if len(got) != 3 {
+		t.Fatalf("got %d elements, want 3", len(got))
+	}
+	for i, v := range got {
+		if !value.Equal(v, s.At(i)) {
+			t.Fatalf("element %d: got %v, want %v", i, v, s.At(i))
+		}
+	}
+}
+
+func TestFromSlicePreservesOrderAndDuplicates(t *testing.T) {
+	in := ints(2, 2, 1)
+	got := drain(t, FromSlice(in))
+	if len(got) != 3 || got[0] != in[0] || got[2] != in[2] {
+		t.Fatalf("got %v, want the slice verbatim", got)
+	}
+}
+
+func TestFilterTransformConcat(t *testing.T) {
+	even := func(v value.Value) (bool, error) {
+		return v.(value.Int)%2 == 0, nil
+	}
+	double := func(v value.Value) (value.Value, error) {
+		return value.Int(v.(value.Int) * 2), nil
+	}
+	it := Concat(
+		Transform(Filter(FromSlice(ints(1, 2, 3, 4)), even), double),
+		FromSlice(ints(9)),
+	)
+	got := drain(t, it)
+	want := ints(4, 8, 9)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if !value.Equal(got[i], want[i]) {
+			t.Fatalf("element %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestErrorsAbort(t *testing.T) {
+	boom := errors.New("boom")
+	fail := Filter(FromSlice(ints(1)), func(value.Value) (bool, error) { return false, boom })
+	if _, _, err := fail.Next(); !errors.Is(err, boom) {
+		t.Fatalf("Filter error: got %v, want boom", err)
+	}
+	fail = Transform(FromSlice(ints(1)), func(value.Value) (value.Value, error) { return nil, boom })
+	if _, _, err := fail.Next(); !errors.Is(err, boom) {
+		t.Fatalf("Transform error: got %v, want boom", err)
+	}
+	if _, err := Collect(Concat(FromSlice(ints(2)), fail), 0); err != nil {
+		// fail was already drained to its error above; Concat must not
+		// resurrect it — but a fresh failing iterator must propagate:
+		t.Fatalf("unexpected: %v", err)
+	}
+}
+
+func TestCounted(t *testing.T) {
+	n := 0
+	got := drain(t, Counted(FromSlice(ints(5, 6, 7)), &n))
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("counted %d over %d elements, want 3/3", n, len(got))
+	}
+}
+
+func TestCollectDedupsAndSorts(t *testing.T) {
+	s, err := Collect(FromSlice(ints(3, 1, 3, 2, 1)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := value.NewSet(ints(1, 2, 3)...)
+	if !value.Equal(s, want) {
+		t.Fatalf("got %v, want %v", s, want)
+	}
+}
+
+func TestCollectLimit(t *testing.T) {
+	if _, err := Collect(FromSlice(ints(1, 2, 3)), 2); !errors.Is(err, ErrLimit) {
+		t.Fatalf("got %v, want ErrLimit", err)
+	}
+	// Duplicates beyond the limit are fine as long as the deduplicated
+	// size fits: the limit is on the collected set, not the stream.
+	s, err := Collect(FromSlice(ints(1, 1, 1, 1, 1, 2)), 2)
+	if err != nil || s.Len() != 2 {
+		t.Fatalf("got %v, %v; want a 2-element set", s, err)
+	}
+}

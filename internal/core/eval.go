@@ -167,6 +167,15 @@ func (de *dualEvaluator) eval(e algebra.Expr, positive bool, local map[string]va
 		}
 		return l.Product(r), nil
 	case algebra.Select:
+		// The streaming runtime's spine operators are polarity-transparent
+		// (σ/MAP/∪/× preserve polarity); polarity-sensitive subexpressions
+		// (Flip, defined constants) are leaves evaluated at the current
+		// polarity through the closure.
+		if !de.budget.NoStreaming && algebra.StreamEligible(e) {
+			return algebra.StreamEval(e, de.budget, de.obs, func(sub algebra.Expr) (value.Set, error) {
+				return de.eval(sub, positive, local)
+			})
+		}
 		if prod, isProd := ee.Of.(algebra.Product); isProd && !de.budget.NoHashJoin {
 			if lks, rks, ok := algebra.EquiJoinKeys(ee.Var, ee.Test); ok {
 				l, err := de.eval(prod.L, positive, local)
@@ -194,6 +203,11 @@ func (de *dualEvaluator) eval(e algebra.Expr, positive bool, local map[string]va
 			return algebra.EvalTest(ee.Test, algebra.FEnv{ee.Var: v})
 		})
 	case algebra.Map:
+		if !de.budget.NoStreaming && algebra.StreamEligible(e) {
+			return algebra.StreamEval(e, de.budget, de.obs, func(sub algebra.Expr) (value.Set, error) {
+				return de.eval(sub, positive, local)
+			})
+		}
 		of, err := de.eval(ee.Of, positive, local)
 		if err != nil {
 			return value.Set{}, err

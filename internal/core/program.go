@@ -23,6 +23,12 @@
 // requires them to be non-recursive. Every construction in the paper —
 // S_c^e, WIN, S = {a} − S, and the Proposition 6.1 simulation-function
 // translation — uses recursive constants only.
+//
+// Execution: the dual-bound evaluator shares internal/algebra's streaming
+// runtime — σ/MAP pipelines over products are planned into lazy
+// pushdown/hash-join iterators unless Budget.NoStreaming is set. Those
+// operators are polarity-transparent, so the same pipeline serves both the
+// lower- and upper-bound passes (see docs/architecture.md).
 package core
 
 import (

@@ -17,7 +17,10 @@
 //     translation vs stratified evaluation, semi-naive vs naive minimal
 //     models (plus the inflationary and valid collapses on positive
 //     programs), the three-way stratified/well-founded/valid agreement on
-//     stratifiable programs, and sequential vs parallel stable-model search.
+//     stratifiable programs, and sequential vs parallel stable-model search;
+//   - engine ablations: the hash-consed interning switch (expr-intern,
+//     dlog-intern) and the streaming pipeline runtime (expr-stream,
+//     dlog-stream) must change cost only, never results.
 //
 // A disagreement is reported as a *Divergence. Resource exhaustion (a
 // budget error from either pipeline) skips the instance: the budgets turn
@@ -148,6 +151,12 @@ var Oracles = []*Oracle{
 	{Name: "dlog-intern", Kind: KindDatalogFree,
 		Doc:          "interned grounding is bit-for-bit the string-keyed ground program, well-founded models equal",
 		checkDatalog: checkDlogIntern},
+	{Name: "expr-stream", Kind: KindExpr,
+		Doc:       "streaming pipeline runtime changes cost only: streamed and materialized evaluation agree",
+		checkExpr: checkExprStream},
+	{Name: "dlog-stream", Kind: KindDatalogFree,
+		Doc:          "valid models through Prop 6.1 agree with and without the streaming runtime",
+		checkDatalog: checkDlogStream},
 }
 
 // ByName returns the oracle with the given name.

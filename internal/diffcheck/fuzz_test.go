@@ -49,3 +49,5 @@ func FuzzDlogStratified(f *testing.F)   { fuzzOracle(f, "dlog-stratified") }
 func FuzzDlogStable(f *testing.F)       { fuzzOracle(f, "dlog-stable") }
 func FuzzExprIntern(f *testing.F)       { fuzzOracle(f, "expr-intern") }
 func FuzzDlogIntern(f *testing.F)       { fuzzOracle(f, "dlog-intern") }
+func FuzzExprStream(f *testing.F)       { fuzzOracle(f, "expr-stream") }
+func FuzzDlogStream(f *testing.F)       { fuzzOracle(f, "dlog-stream") }

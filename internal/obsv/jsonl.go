@@ -61,3 +61,6 @@ func (j *JSONL) Experiment(s ExperimentStats) { j.emit("experiment", s) }
 
 // Server implements Collector.
 func (j *JSONL) Server(s ServerStats) { j.emit("server", s) }
+
+// Stream implements Collector.
+func (j *JSONL) Stream(s StreamStats) { j.emit("stream", s) }

@@ -175,6 +175,33 @@ type ServerStats struct {
 	WallNS int64
 }
 
+// StreamStats describes one streamed pipeline evaluation by the streaming
+// execution runtime (internal/algebra StreamEval): one σ/MAP pipeline over a
+// product compiled into lazy iterators, with pushdown and hash-join steps.
+// One event per pipeline, emitted after the result set is collected.
+type StreamStats struct {
+	// Op names the pipeline's root operator: "select", "map", "union",
+	// "product".
+	Op string
+	// Leaves counts the materialized leaf scans feeding the pipeline.
+	Leaves int
+	// Scanned counts elements read from leaf scans — the unit the pushdown
+	// tests assert on: pushing a selective conjunct below a join shrinks the
+	// candidate lists without changing Scanned, while Tested shrinks because
+	// fewer full rows reach the complete test.
+	Scanned int
+	// Tested counts complete-test evaluations on assembled elements; Emitted
+	// counts elements that passed.
+	Tested  int
+	Emitted int
+	// Result is the cardinality of the collected (deduplicated) output.
+	Result int
+	// HashJoins counts hash-join steps in the chosen plan; Pushed counts
+	// conjuncts pushed into leaf scans.
+	HashJoins int
+	Pushed    int
+}
+
 // ExperimentStats describes one experiment (or one shard of one) run by the
 // internal/expt harness.
 type ExperimentStats struct {
@@ -200,6 +227,7 @@ type Collector interface {
 	Translate(TranslateStats)
 	Experiment(ExperimentStats)
 	Server(ServerStats)
+	Stream(StreamStats)
 }
 
 // Nop is a Collector that discards every event. Embed it to implement only
@@ -231,6 +259,9 @@ func (Nop) Experiment(ExperimentStats) {}
 
 // Server implements Collector.
 func (Nop) Server(ServerStats) {}
+
+// Stream implements Collector.
+func (Nop) Stream(StreamStats) {}
 
 // multi fans events out to several collectors in order.
 type multi []Collector
@@ -299,6 +330,12 @@ func (m multi) Experiment(s ExperimentStats) {
 func (m multi) Server(s ServerStats) {
 	for _, c := range m {
 		c.Server(s)
+	}
+}
+
+func (m multi) Stream(s StreamStats) {
+	for _, c := range m {
+		c.Stream(s)
 	}
 }
 

@@ -132,6 +132,18 @@ func (s *Stats) Server(v ServerStats) {
 	s.add(kvs...)
 }
 
+// Stream implements Collector.
+func (s *Stats) Stream(v StreamStats) {
+	s.add(
+		"stream.pipelines", int64(1),
+		"stream.scanned", int64(v.Scanned),
+		"stream.tested", int64(v.Tested),
+		"stream.emitted", int64(v.Emitted),
+		"stream.hashJoins", int64(v.HashJoins),
+		"stream.pushed", int64(v.Pushed),
+	)
+}
+
 // Snapshot is an immutable copy of a Stats collector's counters. The
 // counter vocabulary:
 //
@@ -145,6 +157,7 @@ func (s *Stats) Server(v ServerStats) {
 //	expt.runs|wallNS|cpuNS
 //	server.<route>.requests, server.wallNS, server.errors.<code>,
 //	server.cache.hits|misses, server.compiles
+//	stream.pipelines|scanned|tested|emitted|hashJoins|pushed
 type Snapshot map[string]int64
 
 // Snapshot returns a copy of the current counters.

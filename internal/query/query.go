@@ -18,6 +18,11 @@
 // "datalog" (the deductive language with negation, Section 4). The six
 // semantics are valid, wellfounded, stable, inflationary, stratified and
 // minimal; CompatibleSemantics says which pairs are evaluable.
+//
+// docs/architecture.md walks the full lifecycle — parse, translate, plan,
+// ground, fixpoint, result — through this package's Compile/Execute split,
+// including where the streaming execution runtime and the engine ablation
+// switches (-noseminaive, -nointern, -nostreaming) plug in.
 package query
 
 import (

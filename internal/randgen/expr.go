@@ -186,6 +186,9 @@ func (x *exprGen) expr(sh shape, depth int, scope []scopeEntry) algebra.Expr {
 			if sh != shPair {
 				continue
 			}
+			if x.g.chance(2) {
+				return x.joinPipeline(depth-1, scope)
+			}
 			return algebra.Product{L: x.expr(shInt, depth-1, scope), R: x.expr(shInt, depth-1, scope)}
 		case 3:
 			v := x.fresh()
@@ -202,6 +205,76 @@ func (x *exprGen) expr(sh shape, depth int, scope []scopeEntry) algebra.Expr {
 			return x.leaf(sh, scope)
 		}
 	}
+}
+
+// joinPipeline emits the streaming runtime's target shape — σ over a
+// (possibly nested) product of integer-shaped leaves — with a test mixing
+// cross-leaf equalities (hash-join edges), single-leaf conjuncts (pushdown
+// candidates), and constant comparisons, so the differential oracles
+// exercise multi-leaf plans, not just whatever σ(×) falls out of the
+// generic recursion. Every projection path is integer-typed, so the test
+// never errors and the streamed and materialized pipelines stay comparable
+// beyond budget boundaries. The result shape is shPair.
+func (x *exprGen) joinPipeline(depth int, scope []scopeEntry) algebra.Expr {
+	v := x.fresh()
+	path := func(idx ...int) algebra.FExpr {
+		var e algebra.FExpr = algebra.FVar{Name: v}
+		for _, i := range idx {
+			e = algebra.FField{Of: e, Idx: i}
+		}
+		return e
+	}
+	atom := func(e algebra.FExpr) algebra.FExpr {
+		if x.g.chance(2) {
+			return algebra.FCmp{Op: algebra.CmpOp(x.g.intn(6)), L: e, R: algebra.FConst{V: x.randInt()}}
+		}
+		return algebra.FCmp{Op: algebra.OpEq,
+			L: algebra.FArith{Op: algebra.OpMod, L: e, R: algebra.FConst{V: value.Int(2)}},
+			R: algebra.FConst{V: value.Int(0)}}
+	}
+	conj := func(atoms []algebra.FExpr) algebra.FExpr {
+		t := atoms[0]
+		for _, a := range atoms[1:] {
+			t = algebra.FAnd{L: t, R: a}
+		}
+		return t
+	}
+	leaf := func() algebra.Expr { return x.expr(shInt, depth-1, scope) }
+	if depth >= 1 && x.g.chance(3) {
+		// Three leaves: σ over a nested product, then MAP projects the
+		// triple back onto a pair of integers so the result is well-kinded.
+		atoms := []algebra.FExpr{algebra.FCmp{Op: algebra.OpEq, L: path(1, 2), R: path(2)}}
+		if x.g.chance(2) {
+			atoms = append(atoms, algebra.FCmp{Op: algebra.OpEq, L: path(1, 1), R: path(2)})
+		}
+		for _, pp := range [][]int{{1, 1}, {1, 2}, {2}} {
+			if x.g.chance(2) {
+				atoms = append(atoms, atom(path(pp...)))
+			}
+		}
+		sel := algebra.Select{
+			Of:   algebra.Product{L: algebra.Product{L: leaf(), R: leaf()}, R: leaf()},
+			Var:  v,
+			Test: conj(atoms),
+		}
+		w := x.fresh()
+		return algebra.Map{Of: sel, Var: w, Out: algebra.FTuple{Elems: []algebra.FExpr{
+			algebra.FField{Of: algebra.FField{Of: algebra.FVar{Name: w}, Idx: 1}, Idx: 1},
+			algebra.FField{Of: algebra.FVar{Name: w}, Idx: 2},
+		}}}
+	}
+	var atoms []algebra.FExpr
+	if x.g.chance(4) {
+		atoms = append(atoms, algebra.FCmp{Op: algebra.OpLe, L: path(1), R: path(2)})
+	} else {
+		atoms = append(atoms, algebra.FCmp{Op: algebra.OpEq, L: path(1), R: path(2)})
+	}
+	for _, pp := range [][]int{{1}, {2}} {
+		if x.g.chance(2) {
+			atoms = append(atoms, atom(path(pp...)))
+		}
+	}
+	return algebra.Select{Of: algebra.Product{L: leaf(), R: leaf()}, Var: v, Test: conj(atoms)}
 }
 
 // newExprGen starts per-instance state: the integer domain scales with the
