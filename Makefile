@@ -1,5 +1,5 @@
 # Tier-1 verification: everything CI gates on.
-.PHONY: all check race bench bench-delta bench-intern bench-stream bench-check fuzz-smoke test test-server serve vet lint docs-fresh build clean
+.PHONY: all check race bench bench-delta bench-intern bench-stream bench-idsets bench-check bench-gates fuzz-smoke test test-server serve vet lint docs-fresh build clean
 
 all: check
 
@@ -31,7 +31,7 @@ serve:
 # packages (algebra and its stream iterator layer, core) must document every
 # exported declaration. doccheck is stdlib-only (tools/doccheck).
 lint: vet
-	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/algebra/stream,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server,internal/value/intern .
+	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/algebra/stream,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server,internal/value/intern,internal/value/idset .
 
 # docs-fresh regenerates EXPERIMENTS.md's tables from the committed record
 # (internal/expt/recorded/run.json) and fails if the committed document was
@@ -48,7 +48,7 @@ docs-fresh:
 # under the race detector; diffcheck rides along because its clean-sweep
 # test drives every engine from parallel subtests.
 race:
-	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/algebra/stream ./internal/randgen ./internal/diffcheck ./internal/server ./internal/query ./internal/value ./internal/value/intern
+	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/algebra/stream ./internal/randgen ./internal/diffcheck ./internal/server ./internal/query ./internal/value ./internal/value/intern ./internal/value/idset
 
 # bench runs the full benchmark suite once per target (see also cmd/bench).
 bench:
@@ -69,13 +69,23 @@ bench-check:
 	go run ./tools/benchcheck -baseline BENCH_baseline.json $$tmp/current.json; \
 	rc=$$?; rm -rf $$tmp; exit $$rc
 
+# bench-gates reruns only the gated ablation suites and enforces the
+# -gates speedup floors (default P10 ifpTCChain >= 2x). Speedups are
+# within-run A/B ratios, so machine noise cancels and this gate can block
+# merges where the absolute-wall bench-check stays advisory.
+bench-gates:
+	@tmp=$$(mktemp -d) && \
+	go run ./cmd/bench -only P10 -json $$tmp/current.json >/dev/null && \
+	go run ./tools/benchcheck -gatesonly $$tmp/current.json; \
+	rc=$$?; rm -rf $$tmp; exit $$rc
+
 # fuzz-smoke gives every differential oracle (internal/diffcheck) a short
 # coverage-guided run; CI runs the same targets per-oracle in a matrix, and
 # plain `go test` already replays the committed corpora.
 fuzz-smoke:
 	@for t in ExprSemiNaive ExprIFPElim CoreValid CoreInflationary CoreWellFounded \
 	          DlogTheorem62 DlogTheorem43 DlogMinimal DlogStratified DlogStable \
-	          ExprIntern DlogIntern ExprStream DlogStream; do \
+	          ExprIntern DlogIntern ExprStream DlogStream ExprIDSet DlogIDSet; do \
 		go test ./internal/diffcheck -run '^$$' -fuzz "^Fuzz$$t\$$" -fuzztime 10s || exit 1; \
 	done
 
@@ -91,6 +101,12 @@ bench-intern:
 # baseline, per-call Budget switch).
 bench-stream:
 	go run ./cmd/bench -only P9
+
+# bench-idsets measures the ID-native delta fixpoint kernels alone: the P10
+# macro A/B (sorted-ID galloping kernels + per-fixpoint join index vs the
+# -noidsets value-space rounds, per-call Budget switch).
+bench-idsets:
+	go run ./cmd/bench -only P10
 
 clean:
 	go clean ./...

@@ -1,5 +1,5 @@
 // Benchmarks: one testing.B target per experiment in DESIGN.md's
-// per-experiment index (E1–E11, P1–P8, ablations A1–A4), plus
+// per-experiment index (E1–E11, P1–P10, ablations A1–A4), plus
 // micro-benchmarks of the individual engines. The experiment functions themselves verify agreement
 // (they are also run as tests in internal/expt); here they are measured.
 package algrec_test
@@ -140,6 +140,14 @@ func BenchmarkP8Interning(b *testing.B) {
 // the -nostreaming baseline by >= 1.5x on the product-select workload.
 func BenchmarkP9Streaming(b *testing.B) {
 	runSuite(b, func() (*expt.Table, error) { return expt.RunP9([]int{256}) })
+}
+
+// BenchmarkP10IDSets runs the ID-native kernel A/B at one size; the
+// acceptance bar for the kernels is the idsets column beating the -noidsets
+// baseline by >= 2x on the IFP chain-closure workload (gated in CI by
+// tools/benchcheck -gates).
+func BenchmarkP10IDSets(b *testing.B) {
+	runSuite(b, func() (*expt.Table, error) { return expt.RunP10([]int{256}) })
 }
 
 // Micro-benchmarks of the individual engines.

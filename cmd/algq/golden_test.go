@@ -68,3 +68,13 @@ func TestGoldenNoStreaming(t *testing.T) {
 	defer func() { algebra.DefaultBudget.NoStreaming = was }()
 	runGolden(t)
 }
+
+// TestGoldenNoIDSets replays the same golden cases with the ID-native delta
+// fixpoint kernels disabled (the cmd/bench -noidsets ablation): the
+// value-space delta rounds must reproduce every byte of output.
+func TestGoldenNoIDSets(t *testing.T) {
+	was := algebra.DefaultBudget.NoIDSets
+	algebra.DefaultBudget.NoIDSets = true
+	defer func() { algebra.DefaultBudget.NoIDSets = was }()
+	runGolden(t)
+}

@@ -11,7 +11,8 @@
 // Usage:
 //
 //	bench [-scale N] [-markdown] [-only E9] [-parallel] [-noseminaive]
-//	      [-nointern] [-nostreaming] [-json path] [-trace path] [-pprof dir]
+//	      [-nointern] [-nostreaming] [-noidsets] [-json path] [-trace path]
+//	      [-pprof dir]
 //	bench -render record.json [-update EXPERIMENTS.md]
 //
 // -noseminaive disables the semi-naive delta fixpoint engine process-wide
@@ -30,6 +31,12 @@
 // fully materialized operator by operator instead of planned into lazy
 // pushdown/hash-join iterators — the baseline of the P9 ablation. Results
 // are identical either way.
+//
+// -noidsets disables the ID-native delta fixpoint kernels process-wide
+// (algebra.DefaultBudget.NoIDSets): semi-naive IFP rounds run on value-space
+// sets with per-round set algebra instead of sorted-ID galloping kernels with
+// a per-fixpoint join index — the baseline of the P10 ablation. Results are
+// identical either way.
 //
 // -json accepts either a file name or an existing directory; a directory
 // gets a BENCH_<stamp>.json file created inside it. Serial runs attribute
@@ -72,13 +79,14 @@ func main() {
 	noSemiNaive := flag.Bool("noseminaive", false, "disable the semi-naive delta fixpoint engine (A4 ablation baseline)")
 	noIntern := flag.Bool("nointern", false, "disable hash-consed value interning (P8 ablation baseline)")
 	noStreaming := flag.Bool("nostreaming", false, "disable the streaming execution runtime (P9 ablation baseline)")
+	noIDSets := flag.Bool("noidsets", false, "disable the ID-native delta fixpoint kernels (P10 ablation baseline)")
 	jsonPath := flag.String("json", "", "write an expt.Record report to this file (or BENCH_<stamp>.json inside this directory)")
 	tracePath := flag.String("trace", "", "stream observability events as JSON lines to this file")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	render := flag.String("render", "", "render EXPERIMENTS.md tables from this record file instead of running experiments")
 	update := flag.String("update", "", "with -render: splice the rendered section into this markdown file in place")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "Usage: bench [-scale N] [-markdown] [-only ID] [-parallel] [-noseminaive] [-nointern] [-nostreaming] [-json path] [-trace path] [-pprof dir]")
+		fmt.Fprintln(os.Stderr, "Usage: bench [-scale N] [-markdown] [-only ID] [-parallel] [-noseminaive] [-nointern] [-nostreaming] [-noidsets] [-json path] [-trace path] [-pprof dir]")
 		fmt.Fprintln(os.Stderr, "       bench -render record.json [-update EXPERIMENTS.md]")
 		flag.PrintDefaults()
 	}
@@ -112,6 +120,12 @@ func main() {
 		// the run materializes its pipelines. Results are identical either
 		// way; P9 measures the difference.
 		algebra.DefaultBudget.NoStreaming = true
+	}
+	if *noIDSets {
+		// Budget.WithDefaults ORs this in, so every delta fixpoint runs its
+		// rounds on value-space sets instead of the sorted-ID kernels.
+		// Results are identical either way; P10 measures the difference.
+		algebra.DefaultBudget.NoIDSets = true
 	}
 
 	suites := expt.DefaultSuites(*scale)

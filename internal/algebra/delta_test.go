@@ -203,13 +203,16 @@ func chainTC(n int) (Expr, DB, []int) {
 // TestIFPDeltaCounts pins the observability of the delta engine on a
 // hand-computed workload: transitive closure of a length-6 chain takes 7
 // rounds with per-round growth [6, 5, 4, 3, 2, 1, 0] and a 21-pair result,
-// in both modes (the accumulator trajectory is identical; only the bound
-// input differs).
+// in all three modes (the accumulator trajectory is identical; only the
+// bound input and its representation differ).
 func TestIFPDeltaCounts(t *testing.T) {
 	e, db, wantDeltas := chainTC(6)
-	for _, mode := range []string{"seminaive", "naive"} {
+	for _, mode := range []string{"idsets", "seminaive", "naive"} {
 		rec := &ifpRecorder{}
-		ev := NewEvaluator(db, Budget{NoSemiNaive: mode == "naive"})
+		ev := NewEvaluator(db, Budget{
+			NoSemiNaive: mode == "naive",
+			NoIDSets:    mode != "idsets",
+		})
 		ev.SetCollector(rec)
 		got, err := ev.Eval(e)
 		if err != nil {
@@ -251,9 +254,9 @@ func TestIFPStatsCounters(t *testing.T) {
 	}
 	snap := st.Snapshot()
 	want := map[string]int64{
-		"ifp.seminaive.calls":      1,
-		"ifp.seminaive.rounds":     7,
-		"ifp.seminaive.deltaElems": 21,
+		"ifp.idsets.calls":      1,
+		"ifp.idsets.rounds":     7,
+		"ifp.idsets.deltaElems": 21,
 	}
 	for k, v := range want {
 		if snap[k] != v {

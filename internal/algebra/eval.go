@@ -35,6 +35,14 @@ type Budget struct {
 	// DefaultBudget.NoStreaming, so cmd/bench -nostreaming can disable the
 	// runtime process-wide; the P9 experiment measures the cost.
 	NoStreaming bool
+	// NoIDSets disables the ID-native semi-naive fixpoint engine (see
+	// idfixpoint.go): delta rounds union/diff materialized value.Sets
+	// instead of interned-ID sets. Results are identical either way on
+	// error-free evaluations; only budget boundaries can differ, as with
+	// NoStreaming. WithDefaults ORs in DefaultBudget.NoIDSets, so cmd/bench
+	// -noidsets can disable the engine process-wide; the P10 experiment
+	// measures the cost. The engine also requires value.InterningEnabled.
+	NoIDSets bool
 	// Interrupt, when non-nil, is polled between fixpoint rounds (never
 	// inside one): once the channel is closed, evaluation stops with an
 	// error wrapping ErrCanceled. Callers with a context map ctx.Done()
@@ -62,6 +70,7 @@ func (b Budget) WithDefaults() Budget {
 	}
 	b.NoSemiNaive = b.NoSemiNaive || DefaultBudget.NoSemiNaive
 	b.NoStreaming = b.NoStreaming || DefaultBudget.NoStreaming
+	b.NoIDSets = b.NoIDSets || DefaultBudget.NoIDSets
 	return b
 }
 
@@ -232,6 +241,14 @@ func (ev *Evaluator) eval(e Expr, local map[string]value.Set) (value.Set, error)
 		})
 	case IFP:
 		useDelta := !ev.Budget.NoSemiNaive && DeltaDistributive(ee.Body, ee.Var)
+		if useDelta && !ev.Budget.NoIDSets && value.InterningEnabled() {
+			out, ok, err := RunIFPIDSets(ee.Var, ev.Budget, ev.obs, ee.Body, func(sub Expr) (value.Set, error) {
+				return ev.eval(sub, local)
+			})
+			if ok {
+				return out, err
+			}
+		}
 		return RunIFP(ee.Var, local, ev.Budget, useDelta, ev.obs, func(inner map[string]value.Set) (value.Set, error) {
 			return ev.eval(ee.Body, inner)
 		})

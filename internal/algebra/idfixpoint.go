@@ -1,0 +1,410 @@
+package algebra
+
+import (
+	"errors"
+	"fmt"
+
+	"algrec/internal/value"
+	"algrec/internal/value/idset"
+	"algrec/internal/value/intern"
+)
+
+// This file implements the ID-native semi-naive fixpoint engine: when
+// interning is on and the IFP body is delta-distributive, the per-round
+// delta, the accumulator and every intermediate set are idset.Sets of
+// interned IDs instead of materialized value.Sets. The body is compiled once
+// per fixpoint into a small tree of ID-space operators:
+//
+//   - the fixpoint variable reads the current delta directly;
+//   - every variable-free subexpression is evaluated once (through the host
+//     evaluator, so core's polarity environments apply) and frozen as a
+//     constant ID set — the value path re-evaluates it every round;
+//   - union children that are constants are emitted only in round 0: a
+//     distributive body's constant contributions are absorbed by the round-0
+//     accumulator, so later rounds produce the same accumulator and delta
+//     without them (the profiled source of the old ifpTCChain inversion,
+//     where re-merging the base relation every round swamped the delta win);
+//   - σ(L × R) whose test is exactly a conjunction of side-to-side equality
+//     paths becomes an ID hash join: the constant side is indexed once per
+//     fixpoint (the value path rebuilds the index every round) and probed
+//     with delta elements, and an enclosing MAP of pure projection paths is
+//     fused into the probe so the intermediate pair values are never built —
+//     each output element is one InternTuple call over element IDs;
+//   - general σ/MAP fall back to per-element EvalTest/EvalF on the interner's
+//     canonical values (a lock-free Lookup, no set materialization).
+//
+// Equivalence contract: pure-equality join tests cannot fail (Compare is
+// total), and every operation that could observe a difference from the value
+// path — a projection path that does not apply, an element-level evaluation
+// error — aborts the ID engine, which then reports "not run" so the caller
+// re-runs the value path and reproduces its exact result or error. The ID
+// engine itself only raises the round-aligned budget and interrupt errors
+// RunIFP would raise on the same round. As with the streaming runtime, only
+// budget *boundaries* can differ (the value path also caps intermediate sets
+// inside the body); Budget.NoIDSets restores the value path bit-for-bit.
+
+// errIDAbort signals that the ID engine cannot reproduce the value path's
+// behavior for this evaluation; the caller falls back to RunIFP.
+var errIDAbort = errors.New("algebra: id fixpoint abort")
+
+// idNode is one compiled ID-space operator. eval returns the node's value on
+// the current round, and whether the caller owns the result (must release it
+// to the round scratch) or is borrowing a persistent set.
+type idNode interface {
+	eval(ctx *idCtx) (s idset.Set, owned bool, err error)
+}
+
+// idCtx is the per-fixpoint evaluation context: the interner, the buffer
+// scratch, the current delta and round, and reusable emission buffers.
+type idCtx struct {
+	in     *intern.Interner
+	sc     *idset.Scratch
+	delta  idset.Set
+	round  int
+	max    int // Budget.MaxSetSize
+	raw    []intern.ID // emission buffer, consumed by Build before returning
+	keyBuf []intern.ID
+	env    FEnv // single-binding environment reused across elements
+}
+
+// idDelta reads the current per-round delta (the fixpoint variable).
+type idDelta struct{}
+
+func (idDelta) eval(ctx *idCtx) (idset.Set, bool, error) { return ctx.delta, false, nil }
+
+// idConst is a variable-free subexpression, evaluated once at compile time.
+type idConst struct{ set idset.Set }
+
+func (n *idConst) eval(ctx *idCtx) (idset.Set, bool, error) { return n.set, false, nil }
+
+// idUnion merges its parts. Constant parts are emitted only in round 0: in a
+// delta-distributive body every constant union child contributes the same
+// set every round, and round 0 (delta = ∅) already folded it into the
+// accumulator, so the engine's acc ∪ out and out − acc are unchanged.
+type idUnion struct{ parts []idNode }
+
+func (n *idUnion) eval(ctx *idCtx) (idset.Set, bool, error) {
+	cur, owned := idset.Empty, false
+	for _, p := range n.parts {
+		if _, isConst := p.(*idConst); isConst && ctx.round > 0 {
+			continue
+		}
+		s, po, err := p.eval(ctx)
+		if err != nil {
+			if owned {
+				ctx.sc.Release(cur)
+			}
+			return idset.Empty, false, err
+		}
+		switch {
+		case s.IsEmpty():
+			if po {
+				ctx.sc.Release(s)
+			}
+		case cur.IsEmpty():
+			if owned {
+				ctx.sc.Release(cur)
+			}
+			cur, owned = s, po
+		default:
+			merged := ctx.sc.Union(cur, s)
+			if owned {
+				ctx.sc.Release(cur)
+			}
+			if po {
+				ctx.sc.Release(s)
+			}
+			cur, owned = merged, true
+		}
+	}
+	return cur, owned, nil
+}
+
+// idDiff subtracts a constant subtrahend (delta-distributivity guarantees
+// the right operand is variable-free).
+type idDiff struct {
+	l   idNode
+	sub idset.Set
+}
+
+func (n *idDiff) eval(ctx *idCtx) (idset.Set, bool, error) {
+	l, owned, err := n.l.eval(ctx)
+	if err != nil {
+		return idset.Empty, false, err
+	}
+	out := ctx.sc.Diff(l, n.sub)
+	if owned {
+		ctx.sc.Release(l)
+	}
+	return out, true, nil
+}
+
+// idProduct emits the pair tuples of L × R (one side is constant; the value
+// path's division-based size guard is preserved).
+type idProduct struct{ l, r idNode }
+
+func (n *idProduct) eval(ctx *idCtx) (idset.Set, bool, error) {
+	l, lo, err := n.l.eval(ctx)
+	if err != nil {
+		return idset.Empty, false, err
+	}
+	r, ro, err := n.r.eval(ctx)
+	if err != nil {
+		if lo {
+			ctx.sc.Release(l)
+		}
+		return idset.Empty, false, err
+	}
+	defer func() {
+		if lo {
+			ctx.sc.Release(l)
+		}
+		if ro {
+			ctx.sc.Release(r)
+		}
+	}()
+	if l.Len() > 0 && r.Len() > ctx.max/l.Len() {
+		return idset.Empty, false, fmt.Errorf("%w: product of %d x %d elements exceeds MaxSetSize %d", ErrBudget, l.Len(), r.Len(), ctx.max)
+	}
+	raw := ctx.raw[:0]
+	for i := 0; i < l.Len(); i++ {
+		for j := 0; j < r.Len(); j++ {
+			raw = append(raw, ctx.in.InternTuple(l.At(i), r.At(j)))
+		}
+	}
+	out, rest := ctx.sc.Build(raw)
+	ctx.raw = rest
+	return out, true, nil
+}
+
+// idSelect filters a compiled operand with a general test, evaluated on the
+// interner's canonical value for each element ID.
+type idSelect struct {
+	of   idNode
+	v    string
+	test FExpr
+}
+
+func (n *idSelect) eval(ctx *idCtx) (idset.Set, bool, error) {
+	of, owned, err := n.of.eval(ctx)
+	if err != nil {
+		return idset.Empty, false, err
+	}
+	raw := ctx.raw[:0]
+	for i := 0; i < of.Len(); i++ {
+		id := of.At(i)
+		ctx.env[n.v] = ctx.in.Lookup(id)
+		keep, err := EvalTest(n.test, ctx.env)
+		if err != nil {
+			ctx.raw = raw
+			if owned {
+				ctx.sc.Release(of)
+			}
+			return idset.Empty, false, errIDAbort
+		}
+		if keep {
+			raw = append(raw, id)
+		}
+	}
+	out, rest := ctx.sc.Build(raw)
+	ctx.raw = rest
+	if owned {
+		ctx.sc.Release(of)
+	}
+	return out, true, nil
+}
+
+// idMapPath is MAP of a pure projection path: each element maps to the ID at
+// the path, navigated through the interner's element-ID tables without
+// touching values. A path that does not apply aborts (the value path reports
+// the projection error).
+type idMapPath struct {
+	of   idNode
+	path KeyPath
+}
+
+func (n *idMapPath) eval(ctx *idCtx) (idset.Set, bool, error) {
+	of, owned, err := n.of.eval(ctx)
+	if err != nil {
+		return idset.Empty, false, err
+	}
+	raw := ctx.raw[:0]
+	for i := 0; i < of.Len(); i++ {
+		id, ok := pathID(ctx.in, of.At(i), n.path)
+		if !ok {
+			ctx.raw = raw
+			if owned {
+				ctx.sc.Release(of)
+			}
+			return idset.Empty, false, errIDAbort
+		}
+		raw = append(raw, id)
+	}
+	out, rest := ctx.sc.Build(raw)
+	ctx.raw = rest
+	if owned {
+		ctx.sc.Release(of)
+	}
+	return out, true, nil
+}
+
+// idMap is the general MAP: evaluate the restructuring function on the
+// canonical value and intern the result.
+type idMap struct {
+	of  idNode
+	v   string
+	out FExpr
+}
+
+func (n *idMap) eval(ctx *idCtx) (idset.Set, bool, error) {
+	of, owned, err := n.of.eval(ctx)
+	if err != nil {
+		return idset.Empty, false, err
+	}
+	raw := ctx.raw[:0]
+	for i := 0; i < of.Len(); i++ {
+		ctx.env[n.v] = ctx.in.Lookup(of.At(i))
+		v, err := EvalF(n.out, ctx.env)
+		if err != nil {
+			ctx.raw = raw
+			if owned {
+				ctx.sc.Release(of)
+			}
+			return idset.Empty, false, errIDAbort
+		}
+		raw = append(raw, ctx.in.Intern(v))
+	}
+	out, rest := ctx.sc.Build(raw)
+	ctx.raw = rest
+	if owned {
+		ctx.sc.Release(of)
+	}
+	return out, true, nil
+}
+
+// projSpec is one fused output component: a projection path on the left or
+// right element of a joined pair.
+type projSpec struct {
+	left bool
+	path KeyPath
+}
+
+// idJoin is the σ(L × R) equi-join, with an optional fused MAP projection.
+// The constant side was indexed at compile time; the probe side is compiled.
+// The test is exactly a conjunction of side-to-side equality paths, which
+// key equality decides completely (Compare is total, so pure equality
+// conjuncts cannot error), so matched pairs need no re-check.
+type idJoin struct {
+	probe     idNode
+	probeLeft bool                      // the probe side is the product's left operand
+	index     map[intern.ID][]intern.ID // constant-side key -> element IDs
+	probeKeys []KeyPath
+	outs      []projSpec // nil: emit the (l, r) pair tuples
+	outSingle bool       // the MAP body was a bare path, not a tuple
+}
+
+func (n *idJoin) eval(ctx *idCtx) (idset.Set, bool, error) {
+	probe, owned, err := n.probe.eval(ctx)
+	if err != nil {
+		return idset.Empty, false, err
+	}
+	raw := ctx.raw[:0]
+	abort := func() (idset.Set, bool, error) {
+		ctx.raw = raw
+		if owned {
+			ctx.sc.Release(probe)
+		}
+		return idset.Empty, false, errIDAbort
+	}
+	for i := 0; i < probe.Len(); i++ {
+		pe := probe.At(i)
+		key, ok := joinKeyIDPath(ctx, pe, n.probeKeys)
+		if !ok {
+			return abort()
+		}
+		for _, me := range n.index[key] {
+			l, r := pe, me
+			if !n.probeLeft {
+				l, r = me, pe
+			}
+			var out intern.ID
+			switch {
+			case n.outs == nil:
+				out = ctx.in.InternTuple(l, r)
+			case n.outSingle:
+				out, ok = projectSpec(ctx.in, l, r, n.outs[0])
+				if !ok {
+					return abort()
+				}
+			default:
+				parts := ctx.keyBuf[:0]
+				for _, spec := range n.outs {
+					p, ok := projectSpec(ctx.in, l, r, spec)
+					if !ok {
+						ctx.keyBuf = parts
+						return abort()
+					}
+					parts = append(parts, p)
+				}
+				ctx.keyBuf = parts
+				out = ctx.in.InternTuple(parts...)
+			}
+			raw = append(raw, out)
+			if len(raw) > ctx.max {
+				ctx.raw = raw
+				if owned {
+					ctx.sc.Release(probe)
+				}
+				return idset.Empty, false, fmt.Errorf("%w: join result exceeds MaxSetSize %d", ErrBudget, ctx.max)
+			}
+		}
+	}
+	res, rest := ctx.sc.Build(raw)
+	ctx.raw = rest
+	if owned {
+		ctx.sc.Release(probe)
+	}
+	return res, true, nil
+}
+
+func projectSpec(in *intern.Interner, l, r intern.ID, spec projSpec) (intern.ID, bool) {
+	if spec.left {
+		return pathID(in, l, spec.path)
+	}
+	return pathID(in, r, spec.path)
+}
+
+// pathID navigates a projection path through interned element-ID tables:
+// the ID-space counterpart of applyPath. ok=false on a non-tuple or an
+// out-of-range index.
+func pathID(in *intern.Interner, id intern.ID, path KeyPath) (intern.ID, bool) {
+	for _, idx := range path {
+		if in.Lookup(id).Kind() != value.KindTuple {
+			return 0, false
+		}
+		sub := in.Elems(id)
+		if idx < 1 || idx > len(sub) {
+			return 0, false
+		}
+		id = sub[idx-1]
+	}
+	return id, true
+}
+
+// joinKeyIDPath conses an element's composite join key in ID space.
+func joinKeyIDPath(ctx *idCtx, id intern.ID, paths []KeyPath) (intern.ID, bool) {
+	if len(paths) == 1 {
+		return pathID(ctx.in, id, paths[0])
+	}
+	parts := ctx.keyBuf[:0]
+	for _, p := range paths {
+		k, ok := pathID(ctx.in, id, p)
+		if !ok {
+			ctx.keyBuf = parts
+			return 0, false
+		}
+		parts = append(parts, k)
+	}
+	ctx.keyBuf = parts
+	return ctx.in.InternTuple(parts...), true
+}

@@ -223,6 +223,17 @@ func (de *dualEvaluator) eval(e algebra.Expr, positive bool, local map[string]va
 		// in the variable — distributivity is polarity-independent, because
 		// the variable itself is a local binding.
 		useDelta := !de.budget.NoSemiNaive && algebra.DeltaDistributive(ee.Body, ee.Var)
+		if useDelta && !de.budget.NoIDSets && value.InterningEnabled() {
+			// The leaf closure carries the current polarity and locals, so
+			// the compiled constants read the same pos/neg environments the
+			// value path would.
+			out, ok, err := algebra.RunIFPIDSets(ee.Var, de.budget, de.obs, ee.Body, func(sub algebra.Expr) (value.Set, error) {
+				return de.eval(sub, positive, local)
+			})
+			if ok {
+				return out, err
+			}
+		}
 		return algebra.RunIFP(ee.Var, local, de.budget, useDelta, de.obs, func(inner map[string]value.Set) (value.Set, error) {
 			return de.eval(ee.Body, positive, inner)
 		})
@@ -291,14 +302,16 @@ func gammaNaive(p *Program, db algebra.DB, neg map[string]value.Set, budget alge
 	}
 }
 
-// gammaScheduled computes the same Γ fixpoint as gammaNaive, stratum by
-// stratum. It is used only when the schedule proved Γ monotone in pos
-// (schedule.gammaMonotone — negative occurrences read the fixed neg
-// environment and no pos-environment read is subtracted or IFP-tainted), so
-// evaluating the posDeps-SCCs in topological order — each stratum iterated
-// to its own fixpoint with Jacobi rounds, re-evaluating only definitions
-// whose positive inputs changed in the previous round — reaches the
-// identical least fixpoint.
+// gammaScheduled computes the same Γ fixpoint as gammaNaive, condensation
+// level by condensation level (each level merges the posDeps-SCCs of equal
+// depth — independent by construction — into one batch, so the parallel
+// Jacobi rounds run as wide as the dependency structure allows). It is used
+// only when the schedule proved Γ monotone in pos (schedule.gammaMonotone —
+// negative occurrences read the fixed neg environment and no pos-environment
+// read is subtracted or IFP-tainted), so evaluating the levels in topological
+// order — each iterated to its own fixpoint with Jacobi rounds, re-evaluating
+// only definitions whose positive inputs changed in the previous round —
+// reaches the identical least fixpoint by the chaotic-iteration theorem.
 func gammaScheduled(sched *schedule, p *Program, db algebra.DB, neg map[string]value.Set, budget algebra.Budget, obs obsv.Collector, ctr *coreCounters) (map[string]value.Set, error) {
 	lower := map[string]value.Set{}
 	for _, d := range p.Defs {
@@ -306,7 +319,7 @@ func gammaScheduled(sched *schedule, p *Program, db algebra.DB, neg map[string]v
 	}
 	de := &dualEvaluator{db: db, pos: lower, neg: neg, budget: budget, obs: obs}
 	ctr.gammas++
-	for _, stratum := range sched.strata {
+	for _, stratum := range sched.levels {
 		active := stratum
 		for round := 0; len(active) > 0; round++ {
 			if round >= budget.MaxIFPIters {

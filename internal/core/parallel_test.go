@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"algrec/internal/algebra"
+	"algrec/internal/obsv"
+	"algrec/internal/value"
+)
+
+// wideProgram builds a program whose condensation has wide levels: k
+// independent chain-closure definitions at depth 0 (one recursive SCC each),
+// plus a depth-1 union of all of them and a depth-2 filtered projection — so
+// the parallel rounds genuinely batch independent SCC members.
+func wideProgram(k int) (*Program, algebra.DB) {
+	p := &Program{}
+	db := algebra.DB{}
+	x := algebra.FVar{Name: "p"}
+	for i := 0; i < k; i++ {
+		edge := fmt.Sprintf("e%d", i)
+		name := fmt.Sprintf("tc%d", i)
+		elems := make([]value.Value, 0, 4)
+		for j := 0; j < 4; j++ {
+			elems = append(elems, value.Pair(value.Int(int64(100*i+j)), value.Int(int64(100*i+j+1))))
+		}
+		db[edge] = value.NewSet(elems...)
+		step := algebra.Select{
+			Of:  algebra.Product{L: algebra.Rel{Name: name}, R: algebra.Rel{Name: edge}},
+			Var: "p",
+			Test: algebra.FCmp{Op: algebra.OpEq,
+				L: algebra.FField{Of: algebra.FField{Of: x, Idx: 1}, Idx: 2},
+				R: algebra.FField{Of: algebra.FField{Of: x, Idx: 2}, Idx: 1}},
+		}
+		body := algebra.Union{L: algebra.Rel{Name: edge}, R: algebra.Map{Of: step, Var: "p",
+			Out: algebra.FTuple{Elems: []algebra.FExpr{
+				algebra.FField{Of: algebra.FField{Of: x, Idx: 1}, Idx: 1},
+				algebra.FField{Of: algebra.FField{Of: x, Idx: 2}, Idx: 2}}}}}
+		p.Defs = append(p.Defs, Def{Name: name, Body: body})
+	}
+	all := algebra.Expr(algebra.Rel{Name: "tc0"})
+	for i := 1; i < k; i++ {
+		all = algebra.Union{L: all, R: algebra.Rel{Name: fmt.Sprintf("tc%d", i)}}
+	}
+	p.Defs = append(p.Defs, Def{Name: "all", Body: all})
+	p.Defs = append(p.Defs, Def{Name: "heads", Body: algebra.Map{
+		Of: algebra.Rel{Name: "all"}, Var: "t",
+		Out: algebra.FField{Of: algebra.FVar{Name: "t"}, Idx: 1}}})
+	return p, db
+}
+
+// TestParallelLevelDeterminism pins the determinism contract of the parallel
+// level pool: the same models AND the same obsv event counts whatever the
+// worker bound (the deterministic merge makes worker count invisible except
+// in the Workers stat). Run with -race this also exercises the pool's
+// synchronization.
+func TestParallelLevelDeterminism(t *testing.T) {
+	p, db := wideProgram(6)
+	type outcome struct {
+		lower, upper map[string]value.Set
+		infl         map[string]value.Set
+		events       []obsv.CoreEvalStats
+	}
+	was := maxCoreWorkers
+	defer func() { maxCoreWorkers = was }()
+	var base *outcome
+	for _, workers := range []int{1, 4, 8} {
+		maxCoreWorkers = workers
+		rec := &coreRecorder{}
+		obsv.SetDefault(rec)
+		res, err := EvalValid(p, db, algebra.Budget{})
+		if err != nil {
+			obsv.SetDefault(nil)
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		infl, err := EvalInflationary(p, db, algebra.Budget{})
+		obsv.SetDefault(nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := &outcome{lower: res.Lower, upper: res.Upper, infl: infl, events: rec.events}
+		if base == nil {
+			base = got
+			if base.lower["all"].Len() != 6*10 {
+				t.Fatalf("all = %d elements, want 60", base.lower["all"].Len())
+			}
+			continue
+		}
+		if !sameSets(base.lower, got.lower) || !sameSets(base.upper, got.upper) {
+			t.Errorf("workers=%d: valid model differs from workers=1", workers)
+		}
+		if !sameSets(base.infl, got.infl) {
+			t.Errorf("workers=%d: inflationary model differs from workers=1", workers)
+		}
+		if len(base.events) != len(got.events) {
+			t.Fatalf("workers=%d: %d CoreEval events, want %d", workers, len(got.events), len(base.events))
+		}
+		for i, ev := range got.events {
+			want := base.events[i]
+			ev.Workers, want.Workers = 0, 0
+			if ev != want {
+				t.Errorf("workers=%d: event %d = %+v, want %+v (modulo Workers)", workers, i, ev, want)
+			}
+		}
+	}
+}

@@ -60,6 +60,14 @@ type schedule struct {
 	posDeps [][]int        // per def: sorted pos-environment deps
 	allDeps [][]int        // per def: sorted any-polarity deps
 	strata  [][]int        // SCCs of the posDeps graph, dependencies first
+	// levels groups the strata by condensation depth: two SCCs at the same
+	// depth have no posDeps path between them (an edge would order their
+	// depths), so their members can iterate to their joint fixpoint in the
+	// same Jacobi rounds — one wider parallel batch per level instead of one
+	// narrow batch per SCC. Under gammaMonotone the chaotic-iteration
+	// theorem gives the identical least fixpoint; members keep definition
+	// order inside each level, so the merge stays deterministic.
+	levels [][]int
 	// gammaMonotone reports that no occurrence reads the pos environment
 	// anti-monotonically (odd Flips under odd subtractions), so Γ is monotone
 	// in pos and gammaScheduled computes gammaNaive's fixpoint.
@@ -81,7 +89,45 @@ func newSchedule(p *Program) *schedule {
 		sc.allDeps[i] = sortedKeys(all)
 	}
 	sc.strata = tarjanSCC(len(p.Defs), sc.posDeps)
+	sc.levels = condensationLevels(len(p.Defs), sc.posDeps, sc.strata)
 	return sc
+}
+
+// condensationLevels assigns each SCC a depth — 1 + the maximum depth of the
+// SCCs its members depend on (0 for none) — and returns the defs of each
+// depth as one level, sorted by definition index. strata arrive
+// dependencies-first, so a single pass computes the depths.
+func condensationLevels(n int, deps [][]int, strata [][]int) [][]int {
+	sccOf := make([]int, n)
+	for s, comp := range strata {
+		for _, i := range comp {
+			sccOf[i] = s
+		}
+	}
+	depth := make([]int, len(strata))
+	maxDepth := 0
+	for s, comp := range strata {
+		d := 0
+		for _, i := range comp {
+			for _, dep := range deps[i] {
+				if ds := sccOf[dep]; ds != s && depth[ds]+1 > d {
+					d = depth[ds] + 1
+				}
+			}
+		}
+		depth[s] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]int, maxDepth+1)
+	for s, comp := range strata {
+		levels[depth[s]] = append(levels[depth[s]], comp...)
+	}
+	for _, l := range levels {
+		sort.Ints(l)
+	}
+	return levels
 }
 
 // depWalk records the defined constants e reads, by polarity. positive is

@@ -172,10 +172,11 @@ func (c *coreRecorder) CoreEval(s obsv.CoreEvalStats) { c.events = append(c.even
 // definition.
 //
 // Valid semantics: the posDeps graph has two singleton SCCs ([tc] with a
-// self-loop, [d]); each Γ pass runs the tc stratum for 4 rounds (growth
-// 3, 2, 1, 0) and the d stratum for 1, so 5 rounds and 5 evaluations per Γ.
-// The alternation needs 4 Γ passes (empty → fixpoint → confirm, twice), and
-// singleton strata never skip.
+// self-loop, [d]), both at condensation depth 0, so they merge into one
+// level. Each Γ pass runs the level for 4 rounds (tc growth 3, 2, 1, 0);
+// round 0 evaluates both defs and d — no posDeps — is skip-tracked in the 3
+// later rounds: 4 rounds, 5 evaluations, 3 skips per Γ. The alternation
+// needs 4 Γ passes (empty → fixpoint → confirm, twice).
 //
 // Inflationary semantics: global Jacobi rounds. Round 0 evaluates both defs;
 // d has no inputs, so the delta tracker skips it in every later round, and
@@ -198,9 +199,15 @@ func TestCoreEvalCounters(t *testing.T) {
 		t.Fatalf("valid: %d CoreEval events, want 1", len(rec.events))
 	}
 	v := rec.events[0]
-	want := obsv.CoreEvalStats{Semantics: "valid", Defs: 2, Strata: 2, Gammas: 4, Rounds: 20, Evals: 20, Skips: 0, Workers: 1}
+	// Workers depends on GOMAXPROCS (round 0 has two independent defs), so
+	// compare it separately.
+	if v.Workers < 1 {
+		t.Errorf("valid workers = %d, want >= 1", v.Workers)
+	}
+	v.Workers = 0
+	want := obsv.CoreEvalStats{Semantics: "valid", Defs: 2, Strata: 2, Gammas: 4, Rounds: 16, Evals: 20, Skips: 12}
 	if v != want {
-		t.Errorf("valid event = %+v, want %+v", v, want)
+		t.Errorf("valid event = %+v, want %+v (modulo Workers)", v, want)
 	}
 
 	rec.events = nil

@@ -19,8 +19,9 @@
 //     programs), the three-way stratified/well-founded/valid agreement on
 //     stratifiable programs, and sequential vs parallel stable-model search;
 //   - engine ablations: the hash-consed interning switch (expr-intern,
-//     dlog-intern) and the streaming pipeline runtime (expr-stream,
-//     dlog-stream) must change cost only, never results.
+//     dlog-intern), the streaming pipeline runtime (expr-stream,
+//     dlog-stream) and the ID-native delta fixpoint kernels (expr-idset,
+//     dlog-idset) must change cost only, never results.
 //
 // A disagreement is reported as a *Divergence. Resource exhaustion (a
 // budget error from either pipeline) skips the instance: the budgets turn
@@ -157,6 +158,12 @@ var Oracles = []*Oracle{
 	{Name: "dlog-stream", Kind: KindDatalogFree,
 		Doc:          "valid models through Prop 6.1 agree with and without the streaming runtime",
 		checkDatalog: checkDlogStream},
+	{Name: "expr-idset", Kind: KindIFPExpr,
+		Doc:       "ID-native delta kernels change cost only: id-space and value-space fixpoints agree",
+		checkExpr: checkExprIDSet},
+	{Name: "dlog-idset", Kind: KindDatalogFree,
+		Doc:          "valid models through Prop 6.1 agree with and without the ID-native kernels",
+		checkDatalog: checkDlogIDSet},
 }
 
 // ByName returns the oracle with the given name.

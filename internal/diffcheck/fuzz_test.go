@@ -51,3 +51,5 @@ func FuzzExprIntern(f *testing.F)       { fuzzOracle(f, "expr-intern") }
 func FuzzDlogIntern(f *testing.F)       { fuzzOracle(f, "dlog-intern") }
 func FuzzExprStream(f *testing.F)       { fuzzOracle(f, "expr-stream") }
 func FuzzDlogStream(f *testing.F)       { fuzzOracle(f, "dlog-stream") }
+func FuzzExprIDSet(f *testing.F)        { fuzzOracle(f, "expr-idset") }
+func FuzzDlogIDSet(f *testing.F)        { fuzzOracle(f, "dlog-idset") }

@@ -1,0 +1,32 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"algrec/internal/randgen"
+)
+
+// TestIDSetOracleSweep is the id-space ≡ value-space property test: a deeper
+// seed sweep than TestOraclesCleanSweep over the two idset oracles. The expr
+// side draws IFP-guaranteed instances so every seed actually enters a
+// fixpoint; any divergence is a kernel or compiler bug — a galloping merge
+// that dropped an ID, a const-skip that was unsound for the body shape, or a
+// join index that went stale across rounds.
+func TestIDSetOracleSweep(t *testing.T) {
+	for _, name := range []string{"expr-idset", "dlog-idset"} {
+		o, ok := ByName(name)
+		if !ok {
+			t.Fatalf("oracle %q not registered", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 150; seed++ {
+				g := randgen.New(seed, randgen.Config{Size: 1 + int(seed%4)})
+				in := Generate(o, g)
+				if err := in.Check(); err != nil {
+					t.Fatalf("seed %d: %v\ninstance:\n%s", seed, err, in.Render())
+				}
+			}
+		})
+	}
+}

@@ -79,6 +79,7 @@ func DefaultSuites(scale int) []Suite {
 		sharded("P7", []int{1500, 3000}, RunP7),
 		sharded("P8", sz(128, 256, 384), RunP8),
 		sharded("P9", sz(128, 256, 384), RunP9),
+		sharded("P10", sz(128, 256, 384), RunP10),
 		sharded("A1", []int{100, 300}, RunA1),
 		sharded("A2", sz(16, 48), RunA2),
 		sharded("A3", sz(16, 32, 48), RunA3),

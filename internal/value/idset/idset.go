@@ -1,0 +1,336 @@
+// Package idset implements finite sets of interned value IDs: the ID-native
+// counterpart of value.Set used by the fixpoint engines' delta rounds.
+//
+// A Set is a sorted, duplicate-free []intern.ID. Because the interner is
+// append-only and IDs are canonical (equal values have equal IDs), sorting by
+// the *numeric* ID order gives a canonical form for set operations — union,
+// difference, intersection and subset are integer merges, with the same
+// galloping strategy as value.Set but one uint32 comparison per step instead
+// of a structural Compare. The numeric order is NOT the value order, so a Set
+// converts back to value space only at output boundaries, through
+// Materialize (lazily, once per Set built by the allocating constructors).
+//
+// Steady-state fixpoint rounds go through a Scratch: a small free list of
+// recycled backing slices that makes the per-round union/diff pair
+// allocation-free once warm. Scratch-built Sets carry no materialization
+// cell (allocating one would defeat the point); materializing one computes
+// directly. The engines materialize only the final accumulator, exactly once.
+package idset
+
+import (
+	"slices"
+	"sort"
+	"sync"
+
+	"algrec/internal/value"
+	"algrec/internal/value/intern"
+)
+
+// Set is a finite set of interned IDs in canonical form: sorted ascending by
+// numeric ID, no duplicates. The zero Set is empty.
+type Set struct {
+	ids []intern.ID // sorted, deduplicated; never mutated after construction
+	c   *cell       // lazy value-space materialization; nil for scratch sets
+}
+
+// cell caches the value-space materialization of a Set, computed at most
+// once (mirroring the lazy Fact materialization of the interned grounder).
+type cell struct {
+	once sync.Once
+	vs   value.Set
+}
+
+// Empty is the empty ID set.
+var Empty = Set{}
+
+// FromIDs returns the set of the given IDs, canonicalizing order and
+// duplicates. The input slice is not retained.
+func FromIDs(ids []intern.ID) Set {
+	if len(ids) == 0 {
+		return Set{}
+	}
+	cp := make([]intern.ID, len(ids))
+	copy(cp, ids)
+	return fromUnsorted(cp)
+}
+
+// fromUnsorted canonicalizes ids in place and wraps it. The caller must not
+// retain the slice.
+func fromUnsorted(ids []intern.ID) Set {
+	if len(ids) == 0 {
+		return Set{}
+	}
+	slices.Sort(ids)
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return Set{ids: out, c: &cell{}}
+}
+
+// fromSorted wraps an already-canonical slice without copying.
+func fromSorted(ids []intern.ID) Set {
+	if len(ids) == 0 {
+		return Set{}
+	}
+	return Set{ids: ids, c: &cell{}}
+}
+
+// FromValueSet interns every element of s and returns the resulting ID set.
+// With the process-global interner this is O(1) per already-interned element
+// (a cache-cell load); the ID count always equals s.Len() because interning
+// is injective on distinct values.
+func FromValueSet(in *intern.Interner, s value.Set) Set {
+	if s.IsEmpty() {
+		return Set{}
+	}
+	ids := make([]intern.ID, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		ids[i] = in.Intern(s.At(i))
+	}
+	return fromUnsorted(ids)
+}
+
+// Len returns the number of elements.
+func (s Set) Len() int { return len(s.ids) }
+
+// IsEmpty reports whether the set has no elements.
+func (s Set) IsEmpty() bool { return len(s.ids) == 0 }
+
+// At returns the i-th ID in ascending numeric order. It panics if i is out
+// of range.
+func (s Set) At(i int) intern.ID { return s.ids[i] }
+
+// IDs returns a copy of the IDs in ascending numeric order.
+func (s Set) IDs() []intern.ID {
+	cp := make([]intern.ID, len(s.ids))
+	copy(cp, s.ids)
+	return cp
+}
+
+// Has reports whether id is a member of s.
+func (s Set) Has(id intern.ID) bool {
+	lo, hi := 0, len(s.ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case s.ids[mid] < id:
+			lo = mid + 1
+		case s.ids[mid] > id:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain the same IDs. Canonical form makes
+// this a single slice comparison.
+func (s Set) Equal(t Set) bool {
+	if len(s.ids) != len(t.ids) {
+		return false
+	}
+	for i, id := range s.ids {
+		if id != t.ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// gallopFactor is the size ratio beyond which the lopsided operations switch
+// from the element-wise merge to binary-searching the larger operand — the
+// same crossover value.Set uses, because the shapes are the same: a delta
+// engine unions a small per-round delta into a large accumulator.
+const gallopFactor = 8
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	if s.IsEmpty() {
+		return t
+	}
+	if t.IsEmpty() {
+		return s
+	}
+	return fromSorted(unionInto(nil, s.ids, t.ids))
+}
+
+// Diff returns s − t.
+func (s Set) Diff(t Set) Set {
+	if s.IsEmpty() || t.IsEmpty() {
+		return s
+	}
+	return fromSorted(diffInto(nil, s.ids, t.ids))
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	if s.IsEmpty() || t.IsEmpty() {
+		return Set{}
+	}
+	return fromSorted(intersectInto(nil, s.ids, t.ids))
+}
+
+// Subset reports whether every element of s is in t.
+func (s Set) Subset(t Set) bool {
+	if len(s.ids) > len(t.ids) {
+		return false
+	}
+	if len(t.ids) >= gallopFactor*len(s.ids) {
+		for _, id := range s.ids {
+			if !t.Has(id) {
+				return false
+			}
+		}
+		return true
+	}
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] < t.ids[j]:
+			return false
+		case s.ids[i] > t.ids[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return i == len(s.ids)
+}
+
+// Materialize converts the set back to value space: look up every ID and
+// re-sort by the value order (numeric ID order and value order disagree in
+// general). Sets built by the allocating constructors cache the result in a
+// sync.Once cell shared by copies; scratch-built sets compute it directly.
+func (s Set) Materialize(in *intern.Interner) value.Set {
+	if len(s.ids) == 0 {
+		return value.EmptySet
+	}
+	if s.c == nil {
+		return s.materialize(in)
+	}
+	s.c.once.Do(func() { s.c.vs = s.materialize(in) })
+	return s.c.vs
+}
+
+func (s Set) materialize(in *intern.Interner) value.Set {
+	b := value.NewSetBuilder(len(s.ids))
+	for _, id := range s.ids {
+		b.Add(in.Lookup(id))
+	}
+	return b.Set()
+}
+
+// unionInto merges two canonical slices into dst (grown as needed, may be
+// nil), galloping when one side dominates. dst must not alias a or b.
+func unionInto(dst []intern.ID, a, b []intern.ID) []intern.ID {
+	if len(a) >= gallopFactor*len(b) {
+		return unionGallop(dst, a, b)
+	}
+	if len(b) >= gallopFactor*len(a) {
+		return unionGallop(dst, b, a)
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// unionGallop merges small into big: for each element of small, binary-search
+// its position in big's unconsumed tail and copy the preceding slab wholesale.
+func unionGallop(dst []intern.ID, big, small []intern.ID) []intern.ID {
+	lo := 0
+	for _, id := range small {
+		at := lo + sort.Search(len(big)-lo, func(i int) bool { return big[lo+i] >= id })
+		dst = append(dst, big[lo:at]...)
+		lo = at
+		if lo < len(big) && big[lo] == id {
+			continue // duplicate: big's copy lands with the next slab
+		}
+		dst = append(dst, id)
+	}
+	return append(dst, big[lo:]...)
+}
+
+// diffInto appends a − b to dst. When b dominates (the delta-minus-
+// accumulator shape), each element of a is membership-tested against b
+// instead of scanning b.
+func diffInto(dst []intern.ID, a, b []intern.ID) []intern.ID {
+	if len(b) >= gallopFactor*len(a) {
+		for _, id := range a {
+			at := sort.Search(len(b), func(i int) bool { return b[i] >= id })
+			if at >= len(b) || b[at] != id {
+				dst = append(dst, id)
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) {
+		if j >= len(b) {
+			return append(dst, a[i:]...)
+		}
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// intersectInto appends a ∩ b to dst, galloping over the larger side.
+func intersectInto(dst []intern.ID, a, b []intern.ID) []intern.ID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= gallopFactor*len(a) {
+		lo := 0
+		for _, id := range a {
+			at := lo + sort.Search(len(b)-lo, func(i int) bool { return b[lo+i] >= id })
+			lo = at
+			if lo < len(b) && b[lo] == id {
+				dst = append(dst, id)
+				lo++
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}

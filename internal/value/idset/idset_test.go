@@ -1,0 +1,213 @@
+package idset_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"algrec/internal/value"
+	"algrec/internal/value/idset"
+	"algrec/internal/value/intern"
+)
+
+// refSet is the naive reference: a map from ID to presence.
+type refSet map[intern.ID]bool
+
+func refOf(s idset.Set) refSet {
+	out := refSet{}
+	for _, id := range s.IDs() {
+		out[id] = true
+	}
+	return out
+}
+
+func fromRef(r refSet) idset.Set {
+	ids := make([]intern.ID, 0, len(r))
+	for id := range r {
+		ids = append(ids, id)
+	}
+	return idset.FromIDs(ids)
+}
+
+func refUnion(a, b refSet) refSet {
+	out := refSet{}
+	for id := range a {
+		out[id] = true
+	}
+	for id := range b {
+		out[id] = true
+	}
+	return out
+}
+
+func refDiff(a, b refSet) refSet {
+	out := refSet{}
+	for id := range a {
+		if !b[id] {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func refIntersect(a, b refSet) refSet {
+	out := refSet{}
+	for id := range a {
+		if b[id] {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func refSubset(a, b refSet) bool {
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func randIDs(rng *rand.Rand, n, span int) []intern.ID {
+	ids := make([]intern.ID, n)
+	for i := range ids {
+		ids[i] = intern.ID(1 + rng.Intn(span))
+	}
+	return ids
+}
+
+// TestOpsAgainstReference drives every set operation against the map
+// reference across size shapes chosen to hit both the element-wise merges
+// and the galloping paths (ratios far beyond the crossover factor).
+func TestOpsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][2]int{{0, 0}, {1, 0}, {0, 1}, {3, 3}, {8, 8}, {100, 5}, {5, 100}, {1000, 3}, {3, 1000}, {257, 257}, {1, 1000}, {1000, 1}}
+	for _, shape := range shapes {
+		for trial := 0; trial < 20; trial++ {
+			span := 1 + rng.Intn(2000)
+			a := idset.FromIDs(randIDs(rng, shape[0], span))
+			b := idset.FromIDs(randIDs(rng, shape[1], span))
+			ra, rb := refOf(a), refOf(b)
+
+			if got, want := a.Union(b), fromRef(refUnion(ra, rb)); !got.Equal(want) {
+				t.Fatalf("shape %v: union = %d elems, want %d", shape, got.Len(), want.Len())
+			}
+			if got, want := a.Diff(b), fromRef(refDiff(ra, rb)); !got.Equal(want) {
+				t.Fatalf("shape %v: diff = %d elems, want %d", shape, got.Len(), want.Len())
+			}
+			if got, want := a.Intersect(b), fromRef(refIntersect(ra, rb)); !got.Equal(want) {
+				t.Fatalf("shape %v: intersect = %d elems, want %d", shape, got.Len(), want.Len())
+			}
+			if got, want := a.Subset(b), refSubset(ra, rb); got != want {
+				t.Fatalf("shape %v: subset = %v, want %v", shape, got, want)
+			}
+			if got, want := a.Intersect(a).Len(), a.Len(); got != want {
+				t.Fatalf("shape %v: a∩a = %d elems, want %d", shape, got, want)
+			}
+			for id := range ra {
+				if !a.Has(id) {
+					t.Fatalf("shape %v: Has(%d) = false for member", shape, id)
+				}
+			}
+			if a.Has(intern.ID(span + 10)) {
+				t.Fatalf("shape %v: Has of non-member", shape)
+			}
+		}
+	}
+}
+
+// TestScratchMatchesPlain checks the pooled kernels against the plain ones,
+// including buffer recycling across rounds.
+func TestScratchMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sc idset.Scratch
+	for trial := 0; trial < 200; trial++ {
+		a := idset.FromIDs(randIDs(rng, rng.Intn(300), 1+rng.Intn(500)))
+		b := idset.FromIDs(randIDs(rng, rng.Intn(300), 1+rng.Intn(500)))
+		u := sc.Union(a, b)
+		if !u.Equal(a.Union(b)) {
+			t.Fatalf("trial %d: scratch union differs", trial)
+		}
+		d := sc.Diff(a, b)
+		if !d.Equal(a.Diff(b)) {
+			t.Fatalf("trial %d: scratch diff differs", trial)
+		}
+		i := sc.Intersect(a, b)
+		if !i.Equal(a.Intersect(b)) {
+			t.Fatalf("trial %d: scratch intersect differs", trial)
+		}
+		built, _ := sc.Build(append(a.IDs(), a.IDs()...))
+		if !built.Equal(a) {
+			t.Fatalf("trial %d: Build(dup input) differs", trial)
+		}
+		sc.Release(u)
+		sc.Release(d)
+		sc.Release(i)
+		sc.Release(built)
+	}
+}
+
+// TestMaterializeRoundTrip pins the value↔ID boundary: FromValueSet then
+// Materialize is the identity on canonical sets, even though the two sort
+// orders (numeric ID vs value) disagree.
+func TestMaterializeRoundTrip(t *testing.T) {
+	in := intern.New()
+	// Mixed kinds force ID order != value order: later-interned small values
+	// get larger IDs.
+	s := value.NewSet(
+		value.Int(900), value.Int(2), value.String("zz"), value.String("a"),
+		value.Pair(value.Int(3), value.Int(1)), value.NewSet(value.Int(5)),
+		value.True,
+	)
+	ids := idset.FromValueSet(in, s)
+	if ids.Len() != s.Len() {
+		t.Fatalf("FromValueSet: %d IDs, want %d", ids.Len(), s.Len())
+	}
+	back := ids.Materialize(in)
+	if !value.Equal(back, s) {
+		t.Fatalf("round trip: got %v, want %v", back, s)
+	}
+	// The lazy cell returns the same materialization on the second call.
+	again := ids.Materialize(in)
+	if !value.Equal(again, s) {
+		t.Fatalf("second materialize differs: %v", again)
+	}
+}
+
+// TestSteadyStateRoundAllocs pins the allocation contract of a steady-state
+// delta round: with warm scratch buffers, the union/diff/build cycle of a
+// round allocates nothing.
+func TestSteadyStateRoundAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	acc := idset.FromIDs(randIDs(rng, 4096, 100000))
+	out := idset.FromIDs(randIDs(rng, 256, 100000))
+	raw := make([]intern.ID, 0, 512)
+	raw = append(raw[:0], out.IDs()...)
+	var sc idset.Scratch
+	// Warm the pool to steady-state sizes.
+	for i := 0; i < 4; i++ {
+		built, rest := sc.Build(raw)
+		next := sc.Union(acc, built)
+		delta := sc.Diff(built, acc)
+		sc.Release(built)
+		sc.Release(next)
+		sc.Release(delta)
+		raw = append(rest, out.IDs()...)
+	}
+	n := out.Len()
+	raw = raw[:n]
+	allocs := testing.AllocsPerRun(50, func() {
+		built, rest := sc.Build(raw)
+		next := sc.Union(acc, built)
+		delta := sc.Diff(built, acc)
+		sc.Release(built)
+		sc.Release(next)
+		sc.Release(delta)
+		// Build sorted raw in place; reslicing keeps the same multiset for
+		// the next round without copying (IDs() would clone).
+		raw = rest[:n]
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state round allocates %.1f times, want 0", allocs)
+	}
+}

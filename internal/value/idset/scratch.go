@@ -1,0 +1,94 @@
+package idset
+
+import (
+	"slices"
+
+	"algrec/internal/value/intern"
+)
+
+// Scratch recycles Set backing slices across fixpoint rounds. A delta round
+// produces three transient sets — the body's output, the new accumulator and
+// the new delta — whose predecessors from the previous round are dead the
+// moment the round commits; Release returns their buffers to a small free
+// list so the next round's Union/Diff/Build calls allocate nothing once the
+// buffers have grown to the workload's steady-state sizes.
+//
+// Scratch-built Sets carry no materialization cell and alias pool-owned
+// memory: the caller owns their lifetime and must Release exactly the Sets
+// nothing else references. A Scratch is not safe for concurrent use; the
+// parallel core rounds give each worker its own.
+type Scratch struct {
+	free [][]intern.ID
+}
+
+// take returns a zero-length buffer with at least the given capacity,
+// preferring the largest pooled one.
+func (sc *Scratch) take(capHint int) []intern.ID {
+	if n := len(sc.free); n > 0 {
+		buf := sc.free[n-1]
+		sc.free = sc.free[:n-1]
+		// A too-small buffer grows inside the kernels' appends; Release gets
+		// the grown slice back, so the pool converges to steady-state sizes.
+		return buf[:0]
+	}
+	return make([]intern.ID, 0, capHint)
+}
+
+// Release returns s's backing buffer to the pool. The caller asserts that no
+// other Set aliases it; releasing a Set that is still referenced corrupts
+// later rounds. Releasing the zero Set is a no-op.
+func (sc *Scratch) Release(s Set) {
+	if cap(s.ids) == 0 {
+		return
+	}
+	sc.free = append(sc.free, s.ids[:0])
+}
+
+// Union returns a ∪ b in a pooled buffer.
+func (sc *Scratch) Union(a, b Set) Set {
+	if a.IsEmpty() && b.IsEmpty() {
+		return Set{}
+	}
+	out := unionInto(sc.take(len(a.ids)+len(b.ids)), a.ids, b.ids)
+	return Set{ids: out}
+}
+
+// Diff returns a − b in a pooled buffer.
+func (sc *Scratch) Diff(a, b Set) Set {
+	if a.IsEmpty() {
+		return Set{}
+	}
+	out := diffInto(sc.take(len(a.ids)), a.ids, b.ids)
+	return Set{ids: out}
+}
+
+// Intersect returns a ∩ b in a pooled buffer.
+func (sc *Scratch) Intersect(a, b Set) Set {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Set{}
+	}
+	n := len(a.ids)
+	if len(b.ids) < n {
+		n = len(b.ids)
+	}
+	out := intersectInto(sc.take(n), a.ids, b.ids)
+	return Set{ids: out}
+}
+
+// Build canonicalizes the accumulated raw IDs (any order, duplicates fine)
+// into a pooled Set and returns the input buffer — reset to zero length, but
+// with its grown capacity — for the caller to keep accumulating into.
+func (sc *Scratch) Build(raw []intern.ID) (Set, []intern.ID) {
+	if len(raw) == 0 {
+		return Set{}, raw[:0]
+	}
+	slices.Sort(raw)
+	out := sc.take(len(raw))
+	out = append(out, raw[0])
+	for _, id := range raw[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return Set{ids: out}, raw[:0]
+}
