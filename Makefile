@@ -1,5 +1,5 @@
 # Tier-1 verification: everything CI gates on.
-.PHONY: all check race bench bench-delta bench-intern bench-stream bench-idsets bench-check bench-gates fuzz-smoke test test-server serve vet lint docs-fresh build clean
+.PHONY: all check race bench bench-delta bench-intern bench-stream bench-idsets bench-ivm bench-check bench-gates fuzz-smoke test test-server serve vet lint docs-fresh build clean
 
 all: check
 
@@ -16,10 +16,13 @@ test:
 	go test ./...
 
 # test-server runs just the serving stack: the query compiler shared by the
-# CLIs and the daemon, the HTTP service (e2e matrix, singleflight,
-# eviction, cancellation, drain), and the three front-ends' golden tests.
+# CLIs and the daemon, the HTTP service (e2e matrix, singleflight, eviction,
+# cancellation, drain, fact mutations, subscription streams) and the
+# incremental maintenance engine behind the subscriptions, plus the three
+# front-ends' golden tests — under the race detector, twice, because the
+# subscription writer/maintainer handoff is where races would live.
 test-server:
-	go test ./internal/query ./internal/server ./cmd/algrecd ./cmd/algq ./cmd/dlog
+	go test -race -count=2 ./internal/query ./internal/server ./internal/ivm ./cmd/algrecd ./cmd/algq ./cmd/dlog
 
 # serve starts the query daemon on the default address (:8372) with the
 # bundled example graph registered as database "g". See docs/server.md.
@@ -31,7 +34,7 @@ serve:
 # packages (algebra and its stream iterator layer, core) must document every
 # exported declaration. doccheck is stdlib-only (tools/doccheck).
 lint: vet
-	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/algebra/stream,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server,internal/value/intern,internal/value/idset .
+	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/algebra/stream,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server,internal/ivm,internal/value/intern,internal/value/idset .
 
 # docs-fresh regenerates EXPERIMENTS.md's tables from the committed record
 # (internal/expt/recorded/run.json) and fails if the committed document was
@@ -48,7 +51,7 @@ docs-fresh:
 # under the race detector; diffcheck rides along because its clean-sweep
 # test drives every engine from parallel subtests.
 race:
-	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/algebra/stream ./internal/randgen ./internal/diffcheck ./internal/server ./internal/query ./internal/value ./internal/value/intern ./internal/value/idset
+	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/algebra/stream ./internal/randgen ./internal/diffcheck ./internal/server ./internal/ivm ./internal/query ./internal/value ./internal/value/intern ./internal/value/idset
 
 # bench runs the full benchmark suite once per target (see also cmd/bench).
 bench:
@@ -70,12 +73,13 @@ bench-check:
 	rc=$$?; rm -rf $$tmp; exit $$rc
 
 # bench-gates reruns only the gated ablation suites and enforces the
-# -gates speedup floors (default P10 ifpTCChain >= 2x). Speedups are
-# within-run A/B ratios, so machine noise cancels and this gate can block
-# merges where the absolute-wall bench-check stays advisory.
+# -gates speedup floors (default P10 ifpTCChain >= 2x, P11 ivmInsertChain
+# >= 5x). Speedups are within-run A/B ratios, so machine noise cancels and
+# this gate can block merges where the absolute-wall bench-check stays
+# advisory.
 bench-gates:
 	@tmp=$$(mktemp -d) && \
-	go run ./cmd/bench -only P10 -json $$tmp/current.json >/dev/null && \
+	go run ./cmd/bench -only P10,P11 -json $$tmp/current.json >/dev/null && \
 	go run ./tools/benchcheck -gatesonly $$tmp/current.json; \
 	rc=$$?; rm -rf $$tmp; exit $$rc
 
@@ -85,7 +89,8 @@ bench-gates:
 fuzz-smoke:
 	@for t in ExprSemiNaive ExprIFPElim CoreValid CoreInflationary CoreWellFounded \
 	          DlogTheorem62 DlogTheorem43 DlogMinimal DlogStratified DlogStable \
-	          ExprIntern DlogIntern ExprStream DlogStream ExprIDSet DlogIDSet; do \
+	          ExprIntern DlogIntern ExprStream DlogStream ExprIDSet DlogIDSet \
+	          DlogIVM; do \
 		go test ./internal/diffcheck -run '^$$' -fuzz "^Fuzz$$t\$$" -fuzztime 10s || exit 1; \
 	done
 
@@ -107,6 +112,12 @@ bench-stream:
 # -noidsets value-space rounds, per-call Budget switch).
 bench-idsets:
 	go run ./cmd/bench -only P10
+
+# bench-ivm measures incremental view maintenance alone: the P11 macro A/B
+# (counting/DRed delta maintenance vs the -noivm from-scratch recompute
+# baseline, per-view Budget switch).
+bench-ivm:
+	go run ./cmd/bench -only P11
 
 clean:
 	go clean ./...

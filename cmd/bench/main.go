@@ -10,9 +10,9 @@
 //
 // Usage:
 //
-//	bench [-scale N] [-markdown] [-only E9] [-parallel] [-noseminaive]
-//	      [-nointern] [-nostreaming] [-noidsets] [-json path] [-trace path]
-//	      [-pprof dir]
+//	bench [-scale N] [-markdown] [-only E9[,P11,...]] [-parallel] [-noseminaive]
+//	      [-nointern] [-nostreaming] [-noidsets] [-noivm] [-json path]
+//	      [-trace path] [-pprof dir]
 //	bench -render record.json [-update EXPERIMENTS.md]
 //
 // -noseminaive disables the semi-naive delta fixpoint engine process-wide
@@ -37,6 +37,11 @@
 // sets with per-round set algebra instead of sorted-ID galloping kernels with
 // a per-fixpoint join index — the baseline of the P10 ablation. Results are
 // identical either way.
+//
+// -noivm disables incremental view maintenance process-wide
+// (algebra.DefaultBudget.NoIVM): every ivm.View falls back to re-evaluating
+// its plan from scratch on each mutation batch and diffing the outcomes —
+// the baseline of the P11 ablation. Results are identical either way.
 //
 // -json accepts either a file name or an existing directory; a directory
 // gets a BENCH_<stamp>.json file created inside it. Serial runs attribute
@@ -63,6 +68,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"algrec/internal/algebra"
@@ -74,19 +80,20 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	markdown := flag.Bool("markdown", false, "emit markdown tables for EXPERIMENTS.md")
-	only := flag.String("only", "", "run a single experiment by id (e.g. E9)")
+	only := flag.String("only", "", "run selected experiments by comma-separated ids (e.g. E9 or P10,P11)")
 	parallel := flag.Bool("parallel", false, "run independent suites and workload sizes concurrently")
 	noSemiNaive := flag.Bool("noseminaive", false, "disable the semi-naive delta fixpoint engine (A4 ablation baseline)")
 	noIntern := flag.Bool("nointern", false, "disable hash-consed value interning (P8 ablation baseline)")
 	noStreaming := flag.Bool("nostreaming", false, "disable the streaming execution runtime (P9 ablation baseline)")
 	noIDSets := flag.Bool("noidsets", false, "disable the ID-native delta fixpoint kernels (P10 ablation baseline)")
+	noIVM := flag.Bool("noivm", false, "disable incremental view maintenance (P11 ablation baseline)")
 	jsonPath := flag.String("json", "", "write an expt.Record report to this file (or BENCH_<stamp>.json inside this directory)")
 	tracePath := flag.String("trace", "", "stream observability events as JSON lines to this file")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	render := flag.String("render", "", "render EXPERIMENTS.md tables from this record file instead of running experiments")
 	update := flag.String("update", "", "with -render: splice the rendered section into this markdown file in place")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "Usage: bench [-scale N] [-markdown] [-only ID] [-parallel] [-noseminaive] [-nointern] [-nostreaming] [-noidsets] [-json path] [-trace path] [-pprof dir]")
+		fmt.Fprintln(os.Stderr, "Usage: bench [-scale N] [-markdown] [-only ID[,ID...]] [-parallel] [-noseminaive] [-nointern] [-nostreaming] [-noidsets] [-noivm] [-json path] [-trace path] [-pprof dir]")
 		fmt.Fprintln(os.Stderr, "       bench -render record.json [-update EXPERIMENTS.md]")
 		flag.PrintDefaults()
 	}
@@ -127,17 +134,32 @@ func main() {
 		// Results are identical either way; P10 measures the difference.
 		algebra.DefaultBudget.NoIDSets = true
 	}
+	if *noIVM {
+		// Budget.WithDefaults ORs this in, so every incremental view built
+		// during the run recomputes from scratch per mutation batch.
+		// Results are identical either way; P11 measures the difference.
+		algebra.DefaultBudget.NoIVM = true
+	}
 
 	suites := expt.DefaultSuites(*scale)
 	if *only != "" {
-		var filtered []expt.Suite
-		for _, s := range suites {
-			if s.ID == *only {
-				filtered = append(filtered, s)
+		wanted := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				wanted[id] = true
 			}
 		}
-		if len(filtered) == 0 {
-			fmt.Fprintf(os.Stderr, "bench: no experiment %q\n", *only)
+		var filtered []expt.Suite
+		for _, s := range suites {
+			if wanted[s.ID] {
+				filtered = append(filtered, s)
+				delete(wanted, s.ID)
+			}
+		}
+		if len(wanted) > 0 {
+			for id := range wanted {
+				fmt.Fprintf(os.Stderr, "bench: no experiment %q\n", id)
+			}
 			os.Exit(2)
 		}
 		suites = filtered

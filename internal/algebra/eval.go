@@ -43,6 +43,15 @@ type Budget struct {
 	// -noidsets can disable the engine process-wide; the P10 experiment
 	// measures the cost. The engine also requires value.InterningEnabled.
 	NoIDSets bool
+	// NoIVM disables incremental view maintenance (internal/ivm): every
+	// ivm.View falls back to from-scratch re-evaluation on each mutation
+	// batch instead of counting/DRed delta maintenance. Results are
+	// identical either way — the maintained interpretation is pinned
+	// bit-for-bit against recomputation by the dlog-ivm oracle. WithDefaults
+	// ORs in DefaultBudget.NoIVM, so cmd/bench -noivm can disable
+	// maintenance process-wide; the P11 experiment measures the cost. Like
+	// NoIDSets, the incremental engine also requires value.InterningEnabled.
+	NoIVM bool
 	// Interrupt, when non-nil, is polled between fixpoint rounds (never
 	// inside one): once the channel is closed, evaluation stops with an
 	// error wrapping ErrCanceled. Callers with a context map ctx.Done()
@@ -71,6 +80,7 @@ func (b Budget) WithDefaults() Budget {
 	b.NoSemiNaive = b.NoSemiNaive || DefaultBudget.NoSemiNaive
 	b.NoStreaming = b.NoStreaming || DefaultBudget.NoStreaming
 	b.NoIDSets = b.NoIDSets || DefaultBudget.NoIDSets
+	b.NoIVM = b.NoIVM || DefaultBudget.NoIVM
 	return b
 }
 

@@ -21,7 +21,11 @@
 //   - engine ablations: the hash-consed interning switch (expr-intern,
 //     dlog-intern), the streaming pipeline runtime (expr-stream,
 //     dlog-stream) and the ID-native delta fixpoint kernels (expr-idset,
-//     dlog-idset) must change cost only, never results.
+//     dlog-idset) must change cost only, never results;
+//   - incremental view maintenance: replaying a random insert/delete
+//     schedule through the counting/DRed delta engine (internal/ivm) must
+//     match from-scratch recompute (Budget.NoIVM) bit-for-bit, per-step
+//     deltas and outcomes alike (dlog-ivm).
 //
 // A disagreement is reported as a *Divergence. Resource exhaustion (a
 // budget error from either pipeline) skips the instance: the budgets turn
@@ -97,6 +101,9 @@ const (
 	KindDatalogStratified
 	// KindDatalogFree is a deductive program with unrestricted safe negation.
 	KindDatalogFree
+	// KindDatalogIVM is a stratifiable deductive program plus a random
+	// insert/delete schedule over its extensional schema.
+	KindDatalogIVM
 )
 
 // Oracle is one differential oracle pair: a named equivalence with the
@@ -112,6 +119,7 @@ type Oracle struct {
 	checkExpr    func(e algebra.Expr, db algebra.DB) error
 	checkCore    func(p *core.Program, db algebra.DB) error
 	checkDatalog func(p *datalog.Program) error
+	checkDlogIVM func(p *datalog.Program, sched []randgen.FactBatch) error
 }
 
 // Oracles is the oracle matrix, in stable presentation order.
@@ -164,6 +172,9 @@ var Oracles = []*Oracle{
 	{Name: "dlog-idset", Kind: KindDatalogFree,
 		Doc:          "valid models through Prop 6.1 agree with and without the ID-native kernels",
 		checkDatalog: checkDlogIDSet},
+	{Name: "dlog-ivm", Kind: KindDatalogIVM,
+		Doc:          "incremental view maintenance replays a mutation schedule bit-for-bit like from-scratch recompute",
+		checkDlogIVM: checkDlogIVM},
 }
 
 // ByName returns the oracle with the given name.
@@ -267,6 +278,8 @@ type Instance struct {
 	Core *core.Program
 	// Dlog is set for the deductive kinds.
 	Dlog *datalog.Program
+	// Sched is the mutation schedule for KindDatalogIVM.
+	Sched []randgen.FactBatch
 	// DB is the database for the expression and algebra= kinds.
 	DB algebra.DB
 }
@@ -293,6 +306,11 @@ func Generate(o *Oracle, g *randgen.Gen) *Instance {
 		in.Dlog = g.Datalog(randgen.DlogStratified)
 	case KindDatalogFree:
 		in.Dlog = g.Datalog(randgen.DlogFree)
+	case KindDatalogIVM:
+		// The schedule draws from the same Gen after the program, extending
+		// the deterministic stream without touching other kinds' output.
+		in.Dlog = g.Datalog(randgen.DlogStratified)
+		in.Sched = g.FactSchedule()
 	default:
 		panic(fmt.Sprintf("diffcheck: unknown kind %d", o.Kind))
 	}
@@ -308,6 +326,8 @@ func (in *Instance) Check() error {
 		return in.Oracle.checkExpr(in.Expr, in.DB)
 	case in.Oracle.checkCore != nil:
 		return in.Oracle.checkCore(in.Core, in.DB)
+	case in.Oracle.checkDlogIVM != nil:
+		return in.Oracle.checkDlogIVM(in.Dlog, in.Sched)
 	default:
 		return in.Oracle.checkDatalog(in.Dlog)
 	}
@@ -330,6 +350,9 @@ func (in *Instance) Size() int {
 		n := 0
 		for _, r := range in.Dlog.Rules {
 			n += 1 + len(r.Body)
+		}
+		for _, b := range in.Sched {
+			n += len(b.Insert) + len(b.Delete)
 		}
 		return n
 	}
@@ -357,6 +380,9 @@ func (in *Instance) Render() string {
 		sb.WriteString(in.Core.String())
 	default:
 		sb.WriteString(in.Dlog.String())
+		if len(in.Sched) > 0 {
+			sb.WriteString(randgen.RenderSchedule(in.Sched))
+		}
 	}
 	return sb.String()
 }

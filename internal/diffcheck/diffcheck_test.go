@@ -29,6 +29,9 @@ func TestOracleRegistry(t *testing.T) {
 		if o.checkDatalog != nil {
 			n++
 		}
+		if o.checkDlogIVM != nil {
+			n++
+		}
 		if n != 1 {
 			t.Errorf("oracle %q: %d check functions, want exactly 1", o.Name, n)
 		}
@@ -56,8 +59,12 @@ func TestGenerateMatchesKind(t *testing.T) {
 			if in.Core == nil || in.DB == nil || in.Expr != nil || in.Dlog != nil {
 				t.Errorf("oracle %q: wrong fields for a core instance", o.Name)
 			}
+		case KindDatalogIVM:
+			if in.Dlog == nil || len(in.Sched) == 0 || in.Expr != nil || in.Core != nil {
+				t.Errorf("oracle %q: wrong fields for an ivm instance", o.Name)
+			}
 		default:
-			if in.Dlog == nil || in.Expr != nil || in.Core != nil {
+			if in.Dlog == nil || in.Expr != nil || in.Core != nil || in.Sched != nil {
 				t.Errorf("oracle %q: wrong fields for a deductive instance", o.Name)
 			}
 		}

@@ -53,3 +53,4 @@ func FuzzExprStream(f *testing.F)       { fuzzOracle(f, "expr-stream") }
 func FuzzDlogStream(f *testing.F)       { fuzzOracle(f, "dlog-stream") }
 func FuzzExprIDSet(f *testing.F)        { fuzzOracle(f, "expr-idset") }
 func FuzzDlogIDSet(f *testing.F)        { fuzzOracle(f, "dlog-idset") }
+func FuzzDlogIVM(f *testing.F)          { fuzzOracle(f, "dlog-ivm") }

@@ -6,6 +6,7 @@ import (
 	"algrec/internal/algebra"
 	"algrec/internal/core"
 	"algrec/internal/datalog"
+	"algrec/internal/randgen"
 	"algrec/internal/value"
 )
 
@@ -71,7 +72,43 @@ func (in *Instance) candidates() []*Instance {
 		}
 	default:
 		for _, p := range dlogCandidates(in.Dlog) {
-			add(&Instance{Oracle: in.Oracle, Dlog: p})
+			add(&Instance{Oracle: in.Oracle, Dlog: p, Sched: in.Sched})
+		}
+		for _, s := range schedCandidates(in.Sched) {
+			add(&Instance{Oracle: in.Oracle, Dlog: in.Dlog, Sched: s})
+		}
+	}
+	return out
+}
+
+// schedCandidates returns every one-step reduction of a mutation schedule:
+// drop one whole batch, or drop one inserted or deleted fact from a batch.
+func schedCandidates(sched []randgen.FactBatch) [][]randgen.FactBatch {
+	var out [][]randgen.FactBatch
+	clone := func() []randgen.FactBatch {
+		c := make([]randgen.FactBatch, len(sched))
+		copy(c, sched)
+		return c
+	}
+	for i := range sched {
+		c := clone()
+		out = append(out, append(c[:i:i], c[i+1:]...))
+	}
+	dropFact := func(fs []datalog.Fact, j int) []datalog.Fact {
+		c := make([]datalog.Fact, 0, len(fs)-1)
+		c = append(c, fs[:j]...)
+		return append(c, fs[j+1:]...)
+	}
+	for i, b := range sched {
+		for j := range b.Insert {
+			c := clone()
+			c[i].Insert = dropFact(b.Insert, j)
+			out = append(out, c)
+		}
+		for j := range b.Delete {
+			c := clone()
+			c[i].Delete = dropFact(b.Delete, j)
+			out = append(out, c)
 		}
 	}
 	return out

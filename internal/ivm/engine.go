@@ -1,0 +1,934 @@
+package ivm
+
+import (
+	"fmt"
+	"sort"
+
+	"algrec/internal/algebra"
+	"algrec/internal/datalog"
+	"algrec/internal/datalog/ground"
+	"algrec/internal/query"
+	"algrec/internal/value"
+	"algrec/internal/value/intern"
+)
+
+// engine is the incremental maintenance state of one stratified datalog
+// plan. Facts are stored as interned row IDs (InternTuple over the interned
+// arguments — the idset kernels' representation), one relation per
+// predicate, and the predicate dependency graph is condensed into strongly
+// connected components processed in topological order. Each batch flows
+// through the components bottom-up, so when a component runs, every lower
+// predicate already has its final new state and its batch membership delta.
+type engine struct {
+	plan   *query.Plan
+	rules  []compiledRule
+	rels   map[string]*relation
+	units  []*unit
+	unitOf map[string]*unit
+	in     *intern.Interner
+
+	budget   algebra.Budget // WithDefaults applied; Stop polled between phases
+	maxFacts int            // total stored rows (from ground.Budget.MaxAtoms)
+	maxWork  int            // per-batch join work (from ground.Budget.MaxRules)
+	work     int
+	nfacts   int
+}
+
+// compiledRule is one non-fact rule with its executable body plan and the
+// combined literal order used for delta pivoting: the positive atoms by plan
+// position, then the negated atoms.
+type compiledRule struct {
+	rule datalog.Rule
+	plan datalog.BodyPlan
+	lits []litRef
+}
+
+type litRef struct {
+	neg  bool
+	atom datalog.Atom
+}
+
+// relKind says what supports a derived row's membership.
+type relKind uint8
+
+const (
+	relBase     relKind = iota // no rules: membership is base membership
+	relCounting                // non-recursive: support counts
+	relDRed                    // recursive: derivable flag, DRed-maintained
+)
+
+// relation is the stored state of one predicate. Current membership is
+// exactly the rows map; added/removed track the in-flight batch's membership
+// delta (removed keeps the row arguments so the pre-batch state stays
+// enumerable); progBase/dbBase are the program's fact rules and the
+// database's facts; count and derived are the per-kind support state.
+type relation struct {
+	name string
+	kind relKind
+
+	rows    map[intern.ID][]value.Value
+	added   map[intern.ID]bool
+	removed map[intern.ID][]value.Value
+
+	progBase map[intern.ID]bool
+	dbBase   map[intern.ID]bool
+
+	count   map[intern.ID]int64 // relCounting: derivation counts
+	derived map[intern.ID]bool  // relDRed: derivable flag
+
+	// idx are lazily built per-position indexes: argument ID → row IDs. An
+	// index always covers rows ∪ removed (so the old state is probeable) and
+	// is kept exact by addRow/removeRow plus an end-of-batch purge.
+	idx map[int]map[intern.ID][]intern.ID
+
+	// pendingBase are the rows whose base membership this batch touched,
+	// consumed when the predicate's unit runs.
+	pendingBase map[intern.ID][]value.Value
+}
+
+// member reports current membership from the support state (the rows map is
+// kept in sync with it at unit boundaries).
+func (r *relation) member(id intern.ID) bool {
+	if r.progBase[id] || r.dbBase[id] {
+		return true
+	}
+	switch r.kind {
+	case relCounting:
+		return r.count[id] > 0
+	case relDRed:
+		return r.derived[id]
+	}
+	return false
+}
+
+// unit is one strongly connected component of the predicate dependency
+// graph: the unit of maintenance strategy choice.
+type unit struct {
+	preds     map[string]bool
+	order     []string // sorted
+	recursive bool
+	rules     []int // indices into engine.rules with head in the unit
+}
+
+// signedRow is one entry of a relation's batch membership delta.
+type signedRow struct {
+	id   intern.ID
+	args []value.Value
+	sign int // +1 added, -1 removed
+}
+
+func (r *relation) deltaRows() []signedRow {
+	if len(r.added)+len(r.removed) == 0 {
+		return nil
+	}
+	out := make([]signedRow, 0, len(r.added)+len(r.removed))
+	for id := range r.added {
+		out = append(out, signedRow{id, r.rows[id], +1})
+	}
+	for id, args := range r.removed {
+		out = append(out, signedRow{id, args, -1})
+	}
+	return out
+}
+
+// baseFact is one base-level insertion: a database fact or (during the
+// initial build) a program fact rule.
+type baseFact struct {
+	f    datalog.Fact
+	prog bool
+}
+
+// newEngine compiles the plan's program and runs the initial evaluation as a
+// mutation batch from the empty state — insertion maintenance from nothing
+// is exactly a from-scratch semi-naive evaluation.
+func newEngine(plan *query.Plan, db algebra.DB, opts query.Options) (*engine, error) {
+	gb := opts.Ground
+	if gb.MaxAtoms <= 0 {
+		gb.MaxAtoms = ground.DefaultBudget.MaxAtoms
+	}
+	if gb.MaxRules <= 0 {
+		gb.MaxRules = ground.DefaultBudget.MaxRules
+	}
+	e := &engine{
+		plan:     plan,
+		rels:     map[string]*relation{},
+		unitOf:   map[string]*unit{},
+		in:       intern.Global(),
+		budget:   opts.Budget.WithDefaults(),
+		maxFacts: gb.MaxAtoms,
+		maxWork:  gb.MaxRules,
+	}
+	var ins []baseFact
+	for _, r := range plan.Program.Rules {
+		if r.IsFact() {
+			f, err := datalog.EvalGroundAtom(r.Head, nil)
+			if err != nil {
+				return nil, err
+			}
+			ins = append(ins, baseFact{f: f, prog: true})
+			continue
+		}
+		bp, err := datalog.PlanRule(r)
+		if err != nil {
+			return nil, err // incrementalOK pre-checked; defensive
+		}
+		cr := compiledRule{rule: r, plan: bp}
+		for _, st := range bp.Steps {
+			if st.Kind == datalog.StepMatch {
+				cr.lits = append(cr.lits, litRef{atom: st.Atom})
+			}
+		}
+		// Positive atoms in PosIdx order: plan steps emit them in that order.
+		for _, na := range bp.Negs {
+			cr.lits = append(cr.lits, litRef{neg: true, atom: na})
+		}
+		e.rules = append(e.rules, cr)
+	}
+	e.buildUnits()
+	for _, f := range query.DBFacts(db) {
+		ins = append(ins, baseFact{f: f})
+	}
+	if _, err := e.applyBatch(ins, nil); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// buildUnits condenses the predicate dependency graph (head → body, positive
+// and negative edges) into SCCs via Tarjan's algorithm, which emits
+// components in dependency order (bodies before heads), and creates the
+// relations.
+func (e *engine) buildUnits() {
+	preds := e.plan.Program.Preds()
+	adj := map[string][]string{}
+	self := map[string]bool{}
+	hasRules := map[string]bool{}
+	for i := range e.rules {
+		cr := &e.rules[i]
+		h := cr.rule.Head.Pred
+		hasRules[h] = true
+		for _, lr := range cr.lits {
+			adj[h] = append(adj[h], lr.atom.Pred)
+			if lr.atom.Pred == h {
+				self[h] = true
+			}
+		}
+	}
+	for p := range adj {
+		sort.Strings(adj[p])
+	}
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var comps [][]string
+	var connect func(v string)
+	connect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				connect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, p := range preds {
+		if _, seen := index[p]; !seen {
+			connect(p)
+		}
+	}
+
+	for _, comp := range comps {
+		u := &unit{preds: map[string]bool{}, order: comp}
+		u.recursive = len(comp) > 1 || self[comp[0]]
+		for _, p := range comp {
+			u.preds[p] = true
+			e.unitOf[p] = u
+			kind := relBase
+			if hasRules[p] {
+				kind = relCounting
+				if u.recursive {
+					kind = relDRed
+				}
+			}
+			e.rels[p] = newRelation(p, kind)
+		}
+		for i := range e.rules {
+			if u.preds[e.rules[i].rule.Head.Pred] {
+				u.rules = append(u.rules, i)
+			}
+		}
+		e.units = append(e.units, u)
+	}
+}
+
+func newRelation(name string, kind relKind) *relation {
+	return &relation{
+		name:     name,
+		kind:     kind,
+		rows:     map[intern.ID][]value.Value{},
+		added:    map[intern.ID]bool{},
+		removed:  map[intern.ID][]value.Value{},
+		progBase: map[intern.ID]bool{},
+		dbBase:   map[intern.ID]bool{},
+		count:    map[intern.ID]int64{},
+		derived:  map[intern.ID]bool{},
+	}
+}
+
+// relFor returns the predicate's relation, creating a base-only one for
+// predicates the program never mentions (mutations may introduce them).
+func (e *engine) relFor(pred string) *relation {
+	if r, ok := e.rels[pred]; ok {
+		return r
+	}
+	r := newRelation(pred, relBase)
+	e.rels[pred] = r
+	return r
+}
+
+// rowID interns a row as a tuple of interned argument IDs.
+func (e *engine) rowID(args []value.Value) intern.ID {
+	ids := make([]intern.ID, len(args))
+	for i, a := range args {
+		ids[i] = e.in.Intern(a)
+	}
+	return e.in.InternTuple(ids...)
+}
+
+// addRow makes id a current member. The index invariant (lists cover
+// rows ∪ removed exactly once) makes re-adding a row removed earlier in the
+// batch a pure map move.
+func (e *engine) addRow(r *relation, id intern.ID, args []value.Value) error {
+	if _, ok := r.rows[id]; ok {
+		return nil
+	}
+	r.rows[id] = args
+	if _, wasRemoved := r.removed[id]; wasRemoved {
+		delete(r.removed, id)
+	} else {
+		r.added[id] = true
+		for pos, m := range r.idx {
+			if pos < len(args) {
+				aid := e.in.Intern(args[pos])
+				m[aid] = append(m[aid], id)
+			}
+		}
+	}
+	e.nfacts++
+	if e.nfacts > e.maxFacts {
+		return fmt.Errorf("%w: ivm stores more than %d facts", algebra.ErrBudget, e.maxFacts)
+	}
+	return nil
+}
+
+// removeRow makes id a non-member; its index entries stay until the
+// end-of-batch purge so the old state remains probeable.
+func (e *engine) removeRow(r *relation, id intern.ID) {
+	args, ok := r.rows[id]
+	if !ok {
+		return
+	}
+	delete(r.rows, id)
+	if r.added[id] {
+		delete(r.added, id)
+	} else {
+		r.removed[id] = args
+	}
+	e.nfacts--
+}
+
+// index returns the relation's per-position index, building it on first use
+// over rows ∪ removed.
+func (e *engine) index(r *relation, pos int) map[intern.ID][]intern.ID {
+	if r.idx == nil {
+		r.idx = map[int]map[intern.ID][]intern.ID{}
+	}
+	m, ok := r.idx[pos]
+	if ok {
+		return m
+	}
+	m = map[intern.ID][]intern.ID{}
+	fill := func(id intern.ID, args []value.Value) {
+		if pos < len(args) {
+			aid := e.in.Intern(args[pos])
+			m[aid] = append(m[aid], id)
+		}
+	}
+	for id, args := range r.rows {
+		fill(id, args)
+	}
+	for id, args := range r.removed {
+		fill(id, args)
+	}
+	r.idx[pos] = m
+	return m
+}
+
+// apply runs one database mutation batch.
+func (e *engine) apply(insert, del []datalog.Fact) (*ResultDelta, error) {
+	ins := make([]baseFact, len(insert))
+	for i, f := range insert {
+		ins[i] = baseFact{f: f}
+	}
+	return e.applyBatch(ins, del)
+}
+
+// applyBatch updates base membership, then processes the units bottom-up,
+// and finally collects the membership delta and resets the batch state.
+// Deletions apply before insertions (View.Apply documents the order).
+func (e *engine) applyBatch(ins []baseFact, del []datalog.Fact) (*ResultDelta, error) {
+	e.work = 0
+	noteBase := func(r *relation, id intern.ID, args []value.Value) {
+		if r.pendingBase == nil {
+			r.pendingBase = map[intern.ID][]value.Value{}
+		}
+		r.pendingBase[id] = args
+	}
+	for _, f := range del {
+		r, ok := e.rels[f.Pred]
+		if !ok {
+			continue // deleting from an unknown predicate is a no-op
+		}
+		id := e.rowID(f.Args)
+		if r.dbBase[id] {
+			delete(r.dbBase, id)
+			noteBase(r, id, f.Args)
+		}
+	}
+	for _, bf := range ins {
+		r := e.relFor(bf.f.Pred)
+		id := e.rowID(bf.f.Args)
+		base := r.dbBase
+		if bf.prog {
+			base = r.progBase
+		}
+		if !base[id] {
+			base[id] = true
+			noteBase(r, id, bf.f.Args)
+		}
+	}
+	// Predicates outside every unit (database-only) have no rules: their
+	// membership is their base membership.
+	for _, r := range e.rels {
+		if e.unitOf[r.name] != nil {
+			continue
+		}
+		if err := e.finalizeBase(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range e.units {
+		if err := e.budget.Stop(); err != nil {
+			return nil, err
+		}
+		var err error
+		if u.recursive {
+			err = e.applyDRed(u)
+		} else {
+			err = e.applyCounting(u)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.finishBatch(), nil
+}
+
+// finalizeBase syncs a no-rules relation's rows with its base membership.
+func (e *engine) finalizeBase(r *relation) error {
+	for id, args := range r.pendingBase {
+		m := r.member(id)
+		if _, have := r.rows[id]; m != have {
+			if m {
+				if err := e.addRow(r, id, args); err != nil {
+					return err
+				}
+			} else {
+				e.removeRow(r, id)
+			}
+		}
+	}
+	r.pendingBase = nil
+	return nil
+}
+
+// applyCounting maintains a non-recursive unit (always a single predicate
+// whose rule bodies only mention lower, already-final predicates). For every
+// body literal with a nonempty membership delta, the delta rules pivot
+// there: literals before the pivot see the new state, literals after it the
+// old state, so each derivation's appearance or disappearance is counted
+// exactly once; a negated pivot contributes with the opposite sign.
+func (e *engine) applyCounting(u *unit) error {
+	r := e.rels[u.order[0]]
+	touched := map[intern.ID][]value.Value{}
+	for id, args := range r.pendingBase {
+		touched[id] = args
+	}
+	for _, ri := range u.rules {
+		cr := &e.rules[ri]
+		for li := range cr.lits {
+			lit := cr.lits[li]
+			d := e.rels[lit.atom.Pred]
+			rows := d.deltaRows()
+			if len(rows) == 0 {
+				continue
+			}
+			views := make([]viewKind, len(cr.lits))
+			for j := range views {
+				if j > li {
+					views[j] = viewOld
+				} else {
+					views[j] = viewCur
+				}
+			}
+			for _, sr := range rows {
+				sign := sr.sign
+				if lit.neg {
+					sign = -sign
+				}
+				err := e.runRule(cr, li, sr.args, views, func(f datalog.Fact) error {
+					id := e.rowID(f.Args)
+					if _, ok := touched[id]; !ok {
+						touched[id] = f.Args
+					}
+					if c := r.count[id] + int64(sign); c == 0 {
+						delete(r.count, id)
+					} else {
+						r.count[id] = c
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for id, args := range touched {
+		m := r.member(id)
+		if _, have := r.rows[id]; m != have {
+			if m {
+				if err := e.addRow(r, id, args); err != nil {
+					return err
+				}
+			} else {
+				e.removeRow(r, id)
+			}
+		}
+	}
+	r.pendingBase = nil
+	return nil
+}
+
+// predRow is a worklist entry during DRed maintenance.
+type predRow struct {
+	pred string
+	id   intern.ID
+	args []value.Value
+}
+
+// applyDRed maintains a recursive unit in the classical three phases:
+//
+//  1. over-delete: every row with a derivation through a destructively
+//     changed fact (a removed positive / added negative lower fact, a lost
+//     base row, or a cascading same-unit deletion) loses its derivable flag,
+//     and its membership when no base supports it — evaluated over the old
+//     state, where all those derivations are visible;
+//  2. re-derive: over-deleted rows still derivable from the surviving facts
+//     are restored, to fixpoint (head-bound rule execution);
+//  3. insert: constructively changed lower facts, new base rows, and
+//     cascading same-unit insertions propagate semi-naively over the
+//     current state — sound under set semantics because derivations are
+//     monotone within the phase.
+func (e *engine) applyDRed(u *unit) error {
+	var delWork, insWork []predRow
+	overDeleted := map[string]map[intern.ID][]value.Value{}
+	note := func(p string, id intern.ID, args []value.Value) {
+		m, ok := overDeleted[p]
+		if !ok {
+			m = map[intern.ID][]value.Value{}
+			overDeleted[p] = m
+		}
+		m[id] = args
+	}
+
+	// Base membership changes.
+	for _, p := range u.order {
+		r := e.rels[p]
+		for id, args := range r.pendingBase {
+			m := r.member(id)
+			_, have := r.rows[id]
+			switch {
+			case have && !m:
+				e.removeRow(r, id)
+				delWork = append(delWork, predRow{p, id, args})
+				note(p, id, args)
+			case have && m && !r.progBase[id] && !r.dbBase[id]:
+				// Base support vanished but a derivation keeps the row; the
+				// derivation is suspect — it may only be self-supporting
+				// (p(X) :- p(X)) — so over-delete it and let phase 2
+				// rederive from the surviving facts.
+				delete(r.derived, id)
+				e.removeRow(r, id)
+				delWork = append(delWork, predRow{p, id, args})
+				note(p, id, args)
+			case !have && m:
+				if err := e.addRow(r, id, args); err != nil {
+					return err
+				}
+				insWork = append(insWork, predRow{p, id, args})
+			}
+		}
+		r.pendingBase = nil
+	}
+
+	// Phase 1: over-delete. All non-pivot literals read the old state.
+	overDelete := func(f datalog.Fact) error {
+		r := e.rels[f.Pred]
+		id := e.rowID(f.Args)
+		if !r.derived[id] {
+			return nil
+		}
+		delete(r.derived, id)
+		note(f.Pred, id, f.Args)
+		if !r.member(id) {
+			e.removeRow(r, id)
+			delWork = append(delWork, predRow{f.Pred, id, f.Args})
+		}
+		return nil
+	}
+	if err := e.pivotLower(u, false, overDelete); err != nil {
+		return err
+	}
+	for len(delWork) > 0 {
+		if err := e.budget.Stop(); err != nil {
+			return err
+		}
+		rw := delWork[len(delWork)-1]
+		delWork = delWork[:len(delWork)-1]
+		if err := e.pivotUnit(u, rw, false, overDelete); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: re-derive over the surviving facts, to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		if err := e.budget.Stop(); err != nil {
+			return err
+		}
+		for p, m := range overDeleted {
+			r := e.rels[p]
+			for id, args := range m {
+				if r.derived[id] {
+					delete(m, id)
+					continue
+				}
+				ok, err := e.rederive(u, p, id, args)
+				if err != nil {
+					return err
+				}
+				if ok {
+					r.derived[id] = true
+					if _, have := r.rows[id]; !have {
+						if err := e.addRow(r, id, args); err != nil {
+							return err
+						}
+					}
+					delete(m, id)
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Phase 3: insert, semi-naively over the current state.
+	insert := func(f datalog.Fact) error {
+		r := e.rels[f.Pred]
+		id := e.rowID(f.Args)
+		if r.derived[id] {
+			return nil
+		}
+		r.derived[id] = true
+		if _, have := r.rows[id]; !have {
+			if err := e.addRow(r, id, f.Args); err != nil {
+				return err
+			}
+			insWork = append(insWork, predRow{f.Pred, id, f.Args})
+		}
+		return nil
+	}
+	if err := e.pivotLower(u, true, insert); err != nil {
+		return err
+	}
+	for len(insWork) > 0 {
+		if err := e.budget.Stop(); err != nil {
+			return err
+		}
+		rw := insWork[len(insWork)-1]
+		insWork = insWork[:len(insWork)-1]
+		if err := e.pivotUnit(u, rw, true, insert); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pivotLower runs every unit rule once per lower-predicate delta row,
+// pivoting on the literal it changes. constructive selects which half of a
+// delta creates derivations: added positives / removed negatives when true
+// (insert phase), removed positives / added negatives when false
+// (over-delete phase). Non-pivot literals read the phase's state: old for
+// over-delete, current for insert.
+func (e *engine) pivotLower(u *unit, constructive bool, emit func(datalog.Fact) error) error {
+	view := viewOld
+	if constructive {
+		view = viewCur
+	}
+	for _, ri := range u.rules {
+		cr := &e.rules[ri]
+		for li := range cr.lits {
+			lit := cr.lits[li]
+			if u.preds[lit.atom.Pred] {
+				continue // same-unit changes cascade through the worklist
+			}
+			d := e.rels[lit.atom.Pred]
+			rows := d.deltaRows()
+			if len(rows) == 0 {
+				continue
+			}
+			views := make([]viewKind, len(cr.lits))
+			for j := range views {
+				views[j] = view
+			}
+			for _, sr := range rows {
+				want := +1
+				if lit.neg {
+					want = -1
+				}
+				if !constructive {
+					want = -want
+				}
+				if sr.sign != want {
+					continue
+				}
+				if err := e.runRule(cr, li, sr.args, views, emit); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pivotUnit propagates one same-unit row change through every positive
+// occurrence of its predicate in the unit's rules. Negated same-unit
+// occurrences cannot exist: the program is stratified.
+func (e *engine) pivotUnit(u *unit, rw predRow, constructive bool, emit func(datalog.Fact) error) error {
+	view := viewOld
+	if constructive {
+		view = viewCur
+	}
+	for _, ri := range u.rules {
+		cr := &e.rules[ri]
+		for li := range cr.lits {
+			lit := cr.lits[li]
+			if lit.neg || lit.atom.Pred != rw.pred {
+				continue
+			}
+			views := make([]viewKind, len(cr.lits))
+			for j := range views {
+				views[j] = view
+			}
+			if err := e.runRule(cr, li, rw.args, views, emit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rederive reports whether the row is derivable from the current state by
+// some unit rule. Head variable and constant arguments are pre-bound to the
+// row; computed head arguments are settled by the final row-identity check,
+// which also makes the check uniform.
+func (e *engine) rederive(u *unit, pred string, id intern.ID, args []value.Value) (bool, error) {
+	views := []viewKind{} // extended per rule below
+	for _, ri := range u.rules {
+		cr := &e.rules[ri]
+		if cr.rule.Head.Pred != pred || len(cr.rule.Head.Args) != len(args) {
+			continue
+		}
+		binding := datalog.Binding{}
+		feasible := true
+		for i, t := range cr.rule.Head.Args {
+			switch tt := t.(type) {
+			case datalog.Var:
+				if v, ok := binding[tt]; ok {
+					if v.Compare(args[i]) != 0 {
+						feasible = false
+					}
+				} else {
+					binding[tt] = args[i]
+				}
+			case datalog.Const:
+				if tt.V.Compare(args[i]) != 0 {
+					feasible = false
+				}
+			}
+			if !feasible {
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		views = views[:0]
+		for range cr.lits {
+			views = append(views, viewCur)
+		}
+		found := false
+		err := e.runRuleBound(cr, binding, views, func(f datalog.Fact) error {
+			if e.rowID(f.Args) == id {
+				found = true
+				return errStop
+			}
+			return nil
+		})
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// finishBatch collects the batch's membership delta in deterministic order,
+// purges removed rows from the indexes, and resets the batch state.
+func (e *engine) finishBatch() *ResultDelta {
+	d := &ResultDelta{}
+	var names []string
+	for name, r := range e.rels {
+		if len(r.added)+len(r.removed) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := e.rels[name]
+		pd := PredDelta{Pred: name}
+		pd.Added = sortedKeys(name, r.added, r.rows)
+		rem := make(map[intern.ID]bool, len(r.removed))
+		for id := range r.removed {
+			rem[id] = true
+		}
+		pd.Removed = sortedKeys(name, rem, r.removed)
+		d.Preds = append(d.Preds, pd)
+
+		for id, args := range r.removed {
+			for pos, m := range r.idx {
+				if pos >= len(args) {
+					continue
+				}
+				aid := e.in.Intern(args[pos])
+				lst := m[aid]
+				for i, rid := range lst {
+					if rid == id {
+						lst[i] = lst[len(lst)-1]
+						lst = lst[:len(lst)-1]
+						break
+					}
+				}
+				if len(lst) == 0 {
+					delete(m, aid)
+				} else {
+					m[aid] = lst
+				}
+			}
+		}
+		r.added = map[intern.ID]bool{}
+		r.removed = map[intern.ID][]value.Value{}
+	}
+	return d
+}
+
+// sortedKeys renders the ids' facts in the outcome's order.
+func sortedKeys(pred string, ids map[intern.ID]bool, args map[intern.ID][]value.Value) []string {
+	if len(ids) == 0 {
+		return nil
+	}
+	facts := make([]datalog.Fact, 0, len(ids))
+	for id := range ids {
+		facts = append(facts, datalog.Fact{Pred: pred, Args: args[id]})
+	}
+	datalog.SortFacts(facts)
+	out := make([]string, len(facts))
+	for i, f := range facts {
+		out[i] = f.Key()
+	}
+	return out
+}
+
+// outcome renders the maintained state exactly as query.Execute renders a
+// from-scratch evaluation: every program predicate plus every predicate with
+// database facts, sorted, with CompareFacts-ordered fact keys.
+func (e *engine) outcome() *query.Outcome {
+	out := &query.Outcome{
+		Language:    e.plan.Language,
+		Semantics:   e.plan.Semantics,
+		WellDefined: true,
+		IDB:         e.plan.Program.IDB(),
+	}
+	preds := e.plan.Program.Preds()
+	seen := make(map[string]bool, len(preds))
+	for _, p := range preds {
+		seen[p] = true
+	}
+	for name, r := range e.rels {
+		if !seen[name] && len(r.dbBase) > 0 {
+			preds = append(preds, name)
+			seen[name] = true
+		}
+	}
+	sort.Strings(preds)
+	m := &query.DatalogModel{}
+	for _, p := range preds {
+		pf := query.PredFacts{Pred: p}
+		if r := e.rels[p]; r != nil && len(r.rows) > 0 {
+			all := make(map[intern.ID]bool, len(r.rows))
+			for id := range r.rows {
+				all[id] = true
+			}
+			pf.True = sortedKeys(p, all, r.rows)
+		}
+		m.Preds = append(m.Preds, pf)
+	}
+	out.Datalog = m
+	return out
+}

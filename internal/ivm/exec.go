@@ -1,0 +1,320 @@
+package ivm
+
+import (
+	"errors"
+	"fmt"
+
+	"algrec/internal/algebra"
+	"algrec/internal/datalog"
+	"algrec/internal/value"
+	"algrec/internal/value/intern"
+)
+
+// viewKind selects which state of a relation a body literal reads.
+type viewKind uint8
+
+const (
+	// viewOld is the membership at the start of the batch: current rows
+	// minus this batch's additions, plus its removals.
+	viewOld viewKind = iota
+	// viewCur is the membership right now (mid-phase working state for
+	// same-unit predicates, final state for lower ones).
+	viewCur
+)
+
+// errStop aborts a rule execution early (re-derivation found its target).
+var errStop = errors.New("ivm: stop")
+
+// residual is a deferred pivot argument check: a non-variable pivot argument
+// whose term may reference variables bound only later in the plan, so it is
+// evaluated once the whole body is bound.
+type residual struct {
+	term datalog.Term
+	want value.Value
+}
+
+// runCtx executes one rule body plan with a pivot literal pre-bound to a
+// delta row (or a head binding pre-installed), each literal reading the view
+// its phase assigned.
+type runCtx struct {
+	e        *engine
+	cr       *compiledRule
+	views    []viewKind // per combined-literal index
+	pivot    int        // combined-literal index, -1 when head-bound
+	binding  datalog.Binding
+	residual []residual
+	emit     func(datalog.Fact) error
+}
+
+// runRule executes cr with the combined literal at index pivot unified
+// against pivotArgs and skipped during execution; every satisfying binding
+// of the remaining body reaches emit with the instantiated head. The
+// unification binds bare variables directly; non-variable pivot arguments
+// become residual checks. An arity mismatch simply matches nothing.
+func (e *engine) runRule(cr *compiledRule, pivot int, pivotArgs []value.Value, views []viewKind, emit func(datalog.Fact) error) error {
+	atom := cr.lits[pivot].atom
+	if len(atom.Args) != len(pivotArgs) {
+		return nil
+	}
+	rc := &runCtx{e: e, cr: cr, views: views, pivot: pivot, binding: datalog.Binding{}, emit: emit}
+	for i, t := range atom.Args {
+		if v, isVar := t.(datalog.Var); isVar {
+			if old, ok := rc.binding[v]; ok {
+				if old.Compare(pivotArgs[i]) != 0 {
+					return nil
+				}
+				continue
+			}
+			rc.binding[v] = pivotArgs[i]
+			continue
+		}
+		rc.residual = append(rc.residual, residual{term: t, want: pivotArgs[i]})
+	}
+	err := rc.step(0)
+	if err == errStop {
+		return nil
+	}
+	return err
+}
+
+// runRuleBound executes cr with an initial binding (re-derivation's
+// head-bound mode) and no pivot: every body literal is evaluated against
+// its assigned view. errStop from emit is not swallowed mid-plan but is not
+// an error for the caller.
+func (e *engine) runRuleBound(cr *compiledRule, binding datalog.Binding, views []viewKind, emit func(datalog.Fact) error) error {
+	rc := &runCtx{e: e, cr: cr, views: views, pivot: -1, binding: binding, emit: emit}
+	err := rc.step(0)
+	if err == errStop {
+		return nil
+	}
+	return err
+}
+
+// charge accounts one unit of join work against the batch budget.
+func (rc *runCtx) charge() error {
+	rc.e.work++
+	if rc.e.work > rc.e.maxWork {
+		return fmt.Errorf("%w: ivm batch exceeds %d join steps", algebra.ErrBudget, rc.e.maxWork)
+	}
+	return nil
+}
+
+// step executes the plan from step i, backtracking through matches.
+func (rc *runCtx) step(i int) error {
+	if i == len(rc.cr.plan.Steps) {
+		return rc.finish()
+	}
+	st := rc.cr.plan.Steps[i]
+	switch st.Kind {
+	case datalog.StepMatch:
+		if st.PosIdx == rc.pivot {
+			return rc.step(i + 1) // the pivot is pre-bound
+		}
+		return rc.match(st, i)
+	case datalog.StepAssign:
+		v, err := datalog.EvalTerm(st.Term, rc.binding)
+		if err != nil {
+			return err
+		}
+		if old, ok := rc.binding[st.AssignVar]; ok {
+			// Head-bound mode may have pre-bound the variable.
+			if old.Compare(v) != 0 {
+				return nil
+			}
+			return rc.step(i + 1)
+		}
+		rc.binding[st.AssignVar] = v
+		err = rc.step(i + 1)
+		delete(rc.binding, st.AssignVar)
+		return err
+	case datalog.StepTest:
+		l, err := datalog.EvalTerm(st.Cmp.L, rc.binding)
+		if err != nil {
+			return err
+		}
+		r, err := datalog.EvalTerm(st.Cmp.R, rc.binding)
+		if err != nil {
+			return err
+		}
+		ok, err := datalog.EvalCmp(st.Cmp.Op, l, r)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return rc.step(i + 1)
+	default:
+		return fmt.Errorf("ivm: unknown plan step kind %v", st.Kind)
+	}
+}
+
+// match enumerates the atom's view, preferring the smallest index bucket
+// among the argument positions already determined by the binding, and
+// recurses with the atom's bare variables bound.
+func (rc *runCtx) match(st datalog.PlanStep, i int) error {
+	rel := rc.e.relFor(st.Atom.Pred)
+	view := rc.views[st.PosIdx]
+
+	// Determined positions: non-variable arguments are evaluable here by
+	// plan construction; variables may have been bound by earlier steps.
+	type probe struct {
+		pos int
+		id  intern.ID
+	}
+	var best *probe
+	bestLen := -1
+	for pos, t := range st.Atom.Args {
+		var tv value.Value
+		if v, isVar := t.(datalog.Var); isVar {
+			b, ok := rc.binding[v]
+			if !ok {
+				continue
+			}
+			tv = b
+		} else {
+			var err error
+			tv, err = datalog.EvalTerm(t, rc.binding)
+			if err != nil {
+				return err
+			}
+		}
+		aid := rc.e.in.Intern(tv)
+		n := len(rc.e.index(rel, pos)[aid])
+		if bestLen < 0 || n < bestLen {
+			best, bestLen = &probe{pos: pos, id: aid}, n
+		}
+	}
+
+	try := func(id intern.ID, args []value.Value) error {
+		if err := rc.charge(); err != nil {
+			return err
+		}
+		if len(args) != len(st.Atom.Args) {
+			return nil
+		}
+		var bound []datalog.Var
+		ok := true
+		for k, t := range st.Atom.Args {
+			if v, isVar := t.(datalog.Var); isVar {
+				if old, has := rc.binding[v]; has {
+					if old.Compare(args[k]) != 0 {
+						ok = false
+					}
+				} else {
+					rc.binding[v] = args[k]
+					bound = append(bound, v)
+				}
+			} else {
+				tv, err := datalog.EvalTerm(t, rc.binding)
+				if err != nil {
+					for _, v := range bound {
+						delete(rc.binding, v)
+					}
+					return err
+				}
+				if tv.Compare(args[k]) != 0 {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		var err error
+		if ok {
+			err = rc.step(i + 1)
+		}
+		for _, v := range bound {
+			delete(rc.binding, v)
+		}
+		return err
+	}
+
+	if best != nil {
+		for _, id := range rc.e.index(rel, best.pos)[best.id] {
+			if !viewHas(rel, view, id) {
+				continue
+			}
+			if err := try(id, viewArgs(rel, id)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for id, args := range rel.rows {
+		if view == viewOld && rel.added[id] {
+			continue
+		}
+		if err := try(id, args); err != nil {
+			return err
+		}
+	}
+	if view == viewOld {
+		for id, args := range rel.removed {
+			if err := try(id, args); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// viewHas reports membership of a row in the given view.
+func viewHas(r *relation, view viewKind, id intern.ID) bool {
+	if view == viewOld {
+		if r.added[id] {
+			return false
+		}
+		if _, ok := r.removed[id]; ok {
+			return true
+		}
+	}
+	_, ok := r.rows[id]
+	return ok
+}
+
+// viewArgs returns a row's arguments; a row visible in any view is in rows
+// or in this batch's removed map.
+func viewArgs(r *relation, id intern.ID) []value.Value {
+	if args, ok := r.rows[id]; ok {
+		return args
+	}
+	return r.removed[id]
+}
+
+// finish runs once the whole body is bound: residual pivot checks first
+// (they decide whether the pivot row actually matches), then the negated
+// atoms against their views, then the head instantiation.
+func (rc *runCtx) finish() error {
+	if err := rc.charge(); err != nil {
+		return err
+	}
+	for _, rd := range rc.residual {
+		v, err := datalog.EvalTerm(rd.term, rc.binding)
+		if err != nil {
+			return err
+		}
+		if v.Compare(rd.want) != 0 {
+			return nil
+		}
+	}
+	for ni, na := range rc.cr.plan.Negs {
+		if rc.cr.plan.NumPos+ni == rc.pivot {
+			continue // the negated pivot is the delta source, not a filter
+		}
+		f, err := datalog.EvalGroundAtom(na, rc.binding)
+		if err != nil {
+			return err
+		}
+		rel := rc.e.relFor(f.Pred)
+		if viewHas(rel, rc.views[rc.cr.plan.NumPos+ni], rc.e.rowID(f.Args)) {
+			return nil
+		}
+	}
+	f, err := datalog.EvalGroundAtom(rc.cr.rule.Head, rc.binding)
+	if err != nil {
+		return err
+	}
+	return rc.emit(f)
+}

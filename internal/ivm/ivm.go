@@ -1,0 +1,354 @@
+// Package ivm maintains materialized query results incrementally under fact
+// insertions and deletions — the serving-side counterpart of the semi-naive
+// delta engines, which only grow a fixpoint from scratch.
+//
+// A View binds a compiled query plan (internal/query) to a database and keeps
+// its Outcome current as the database mutates. Datalog plans over stratified
+// programs are maintained by a delta engine (engine.go) that splits the
+// predicate dependency graph into strongly connected components and picks a
+// maintenance strategy per component:
+//
+//   - counting for non-recursive components: every derivation of a fact
+//     contributes one support count, and a mutation batch adjusts counts by
+//     signed semi-naive delta rules (the pivot literal enumerates the delta,
+//     literals before it see the new state, literals after it the old state),
+//     so membership flips exactly when the count crosses zero;
+//   - DRed (delete-and-rederive) for recursive components, where counts are
+//     not finitely maintainable: over-delete everything reachable from a
+//     deletion, re-derive survivors from the remaining facts, then propagate
+//     insertions semi-naively;
+//   - recompute for everything else — non-datalog languages, non-stratified
+//     programs, the stable semantics, or Budget.NoIVM — by re-executing the
+//     plan and diffing the outcomes.
+//
+// Either way a successful Apply returns the ResultDelta between the previous
+// and the new Outcome, and the maintained Outcome is bit-for-bit the outcome
+// query.Execute would produce against the mutated database — the equivalence
+// the dlog-ivm differential oracle (internal/diffcheck) fuzzes and the P11
+// experiment measures (incremental insert maintenance vs cold re-evaluation).
+// docs/architecture.md has the full decision table.
+package ivm
+
+import (
+	"fmt"
+	"sort"
+
+	"algrec/internal/algebra"
+	"algrec/internal/datalog"
+	"algrec/internal/query"
+	"algrec/internal/value"
+)
+
+// Mode says how a View is maintained.
+type Mode string
+
+// The maintenance modes.
+const (
+	// ModeIncremental maintains the outcome by counting/DRed delta rules.
+	ModeIncremental Mode = "incremental"
+	// ModeRecompute re-executes the plan on every mutation batch and diffs
+	// the outcomes — the always-correct fallback, and the -noivm baseline.
+	ModeRecompute Mode = "recompute"
+)
+
+// PredDelta is the change to one named part of an outcome: a datalog
+// predicate, an algebra= defined constant ("def" entries are named directly,
+// query statements as "query:<src>"), or the single result set of an
+// expression plan (named "value"). Fact keys and set elements are rendered
+// exactly as the outcome renders them, in the outcome's order.
+type PredDelta struct {
+	Pred         string   `json:"pred"`
+	Added        []string `json:"added,omitempty"`
+	Removed      []string `json:"removed,omitempty"`
+	UndefAdded   []string `json:"undefAdded,omitempty"`
+	UndefRemoved []string `json:"undefRemoved,omitempty"`
+}
+
+// ResultDelta is the outcome change produced by one Apply: the view's new
+// version and the per-part additions and removals. Snapshot is set instead
+// of Preds when the outcome has no stable per-part diff (the stable-model
+// semantics, whose model list has no canonical pairing across versions);
+// subscribers should then re-read the full outcome.
+type ResultDelta struct {
+	Version  uint64      `json:"version"`
+	Snapshot bool        `json:"snapshot,omitempty"`
+	Preds    []PredDelta `json:"preds,omitempty"`
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *ResultDelta) Empty() bool { return !d.Snapshot && len(d.Preds) == 0 }
+
+// View is a query plan bound to a mutable database, with its outcome kept
+// current across Apply calls. A View is not safe for concurrent use; the
+// server serializes mutations per database.
+type View struct {
+	plan    *query.Plan
+	opts    query.Options
+	mode    Mode
+	version uint64
+
+	eng *engine // ModeIncremental
+
+	db  algebra.DB     // ModeRecompute: current database snapshot
+	out *query.Outcome // ModeRecompute: last outcome
+
+	broken error // a failed incremental batch poisons the view
+}
+
+// New builds a View of plan over db, evaluating the initial outcome. The
+// incremental engine is used for datalog plans whose program is stratified
+// (negation-free for the minimal semantics), with every rule plannable,
+// under the stratified, valid, well-founded or minimal semantics — the
+// fragments where those semantics agree on the stratified model — provided
+// interning is on and opts.Budget does not set NoIVM; every other plan gets
+// the recompute fallback. The initial evaluation honors opts' budgets; its
+// error is returned as-is (query.ErrorCode classifies it).
+func New(plan *query.Plan, db algebra.DB, opts query.Options) (*View, error) {
+	v := &View{plan: plan, opts: opts, mode: ModeRecompute}
+	if incrementalOK(plan, opts) {
+		eng, err := newEngine(plan, db, opts)
+		if err != nil {
+			return nil, err
+		}
+		v.mode, v.eng = ModeIncremental, eng
+		return v, nil
+	}
+	out, err := query.Execute(plan, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	v.db, v.out = db.Clone(), out
+	return v, nil
+}
+
+// incrementalOK reports whether the plan is in the incrementally
+// maintainable fragment under the given options.
+func incrementalOK(plan *query.Plan, opts query.Options) bool {
+	if plan.Language != query.LangDatalog || plan.Program == nil {
+		return false
+	}
+	if opts.Budget.WithDefaults().NoIVM || !value.InterningEnabled() {
+		return false
+	}
+	switch plan.Semantics {
+	case query.SemStratified, query.SemValid, query.SemWellFounded:
+		// Stratified programs: the three semantics compute the same total
+		// model (the dlog-stratified oracle pins the agreement).
+		if !datalog.IsStratified(plan.Program) {
+			return false
+		}
+	case query.SemMinimal:
+		// The minimal model is only defined engine-side for positive
+		// programs; those are trivially stratified.
+		for _, r := range plan.Program.Rules {
+			for _, l := range r.Body {
+				if la, ok := l.(datalog.LitAtom); ok && la.Neg {
+					return false
+				}
+			}
+		}
+	default: // stable, inflationary
+		return false
+	}
+	for _, r := range plan.Program.Rules {
+		if r.IsFact() {
+			continue
+		}
+		if _, err := datalog.PlanRule(r); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Mode returns the view's maintenance mode.
+func (v *View) Mode() Mode { return v.mode }
+
+// Version returns the number of successfully applied mutation batches.
+func (v *View) Version() uint64 { return v.version }
+
+// Outcome returns the current outcome. The result is shared, not copied;
+// callers must treat it as read-only.
+func (v *View) Outcome() (*query.Outcome, error) {
+	if v.broken != nil {
+		return nil, v.broken
+	}
+	if v.mode == ModeIncremental {
+		return v.eng.outcome(), nil
+	}
+	return v.out, nil
+}
+
+// Apply applies one mutation batch — deletions first, then insertions, so a
+// fact in both ends up present — and returns the outcome delta. A failed
+// recompute leaves the view unchanged (the error is returned and the next
+// Apply may succeed); a failed incremental batch poisons the view, because
+// its state may be half-maintained, and every later call returns the error.
+func (v *View) Apply(insert, del []datalog.Fact) (*ResultDelta, error) {
+	if v.broken != nil {
+		return nil, v.broken
+	}
+	var d *ResultDelta
+	if v.mode == ModeIncremental {
+		var err error
+		d, err = v.eng.apply(insert, del)
+		if err != nil {
+			v.broken = fmt.Errorf("ivm: view poisoned by failed incremental batch: %w", err)
+			return nil, err
+		}
+	} else {
+		db := ApplyDB(v.db, insert, del)
+		out, err := query.Execute(v.plan, db, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		d = diffOutcomes(v.plan, v.out, out)
+		v.db, v.out = db, out
+	}
+	v.version++
+	d.Version = v.version
+	return d, nil
+}
+
+// ApplyDB returns a copy of db with the mutation batch applied, under the
+// same fact↔element mapping as query.DBFacts: a unary fact is a scalar
+// element, an n-ary fact a tuple. Deletions apply before insertions;
+// deleting from an unknown relation is a no-op, inserting into one creates
+// it. db itself is never mutated (relations are immutable sets, so the copy
+// is cheap and copy-on-write).
+func ApplyDB(db algebra.DB, insert, del []datalog.Fact) algebra.DB {
+	out := make(algebra.DB, len(db)+1)
+	for k, s := range db {
+		out[k] = s
+	}
+	for _, f := range del {
+		s, ok := out[f.Pred]
+		if !ok {
+			continue
+		}
+		out[f.Pred] = s.Diff(value.NewSet(factElem(f)))
+	}
+	for _, f := range insert {
+		s, ok := out[f.Pred]
+		if !ok {
+			s = value.EmptySet
+		}
+		out[f.Pred] = s.Union(value.NewSet(factElem(f)))
+	}
+	return out
+}
+
+// factElem maps a fact to its database element (the query.DBFacts inverse).
+func factElem(f datalog.Fact) value.Value {
+	if len(f.Args) == 1 {
+		return f.Args[0]
+	}
+	return value.NewTuple(f.Args...)
+}
+
+// diffOutcomes computes the ResultDelta between two outcomes of the same
+// plan. The stable semantics has no canonical model pairing, so it gets a
+// Snapshot delta.
+func diffOutcomes(plan *query.Plan, old, new *query.Outcome) *ResultDelta {
+	d := &ResultDelta{}
+	if plan.Semantics == query.SemStable {
+		d.Snapshot = true
+		return d
+	}
+	addPred := func(p PredDelta) {
+		if len(p.Added)+len(p.Removed)+len(p.UndefAdded)+len(p.UndefRemoved) > 0 {
+			d.Preds = append(d.Preds, p)
+		}
+	}
+	if new.HasValue {
+		add, rem := diffSets(old.Value, new.Value)
+		addPred(PredDelta{Pred: "value", Added: add, Removed: rem})
+		return d
+	}
+	if new.Datalog != nil {
+		oldPreds := map[string]query.PredFacts{}
+		if old.Datalog != nil {
+			for _, pf := range old.Datalog.Preds {
+				oldPreds[pf.Pred] = pf
+			}
+		}
+		seen := map[string]bool{}
+		for _, pf := range new.Datalog.Preds {
+			seen[pf.Pred] = true
+			o := oldPreds[pf.Pred]
+			p := PredDelta{Pred: pf.Pred}
+			p.Added, p.Removed = diffKeys(o.True, pf.True)
+			p.UndefAdded, p.UndefRemoved = diffKeys(o.Undef, pf.Undef)
+			addPred(p)
+		}
+		if old.Datalog != nil {
+			for _, pf := range old.Datalog.Preds {
+				if !seen[pf.Pred] {
+					addPred(PredDelta{Pred: pf.Pred, Removed: pf.True, UndefRemoved: pf.Undef})
+				}
+			}
+		}
+		// Vanished predicates append after the new outcome's, so re-sort to
+		// the canonical name order the incremental engine emits.
+		sort.Slice(d.Preds, func(i, j int) bool { return d.Preds[i].Pred < d.Preds[j].Pred })
+		return d
+	}
+	// algebra= defs and query answers, paired by name and statement order.
+	oldDefs := map[string]query.NamedSet{}
+	for _, ns := range old.Defs {
+		oldDefs[ns.Name] = ns
+	}
+	for _, ns := range new.Defs {
+		o := oldDefs[ns.Name]
+		p := PredDelta{Pred: ns.Name}
+		p.Added, p.Removed = diffSets(o.Set, ns.Set)
+		p.UndefAdded, p.UndefRemoved = diffSets(o.Undef, ns.Undef)
+		addPred(p)
+	}
+	for i, q := range new.Queries {
+		p := PredDelta{Pred: "query:" + q.Src}
+		var o query.QueryAnswer
+		if i < len(old.Queries) {
+			o = old.Queries[i]
+		}
+		p.Added, p.Removed = diffSets(o.Set, q.Set)
+		p.UndefAdded, p.UndefRemoved = diffSets(o.Undef, q.Undef)
+		addPred(p)
+	}
+	return d
+}
+
+// diffSets renders the element-wise difference of two sets (either may be
+// the nil zero set) in the sets' element order.
+func diffSets(old, new value.Set) (added, removed []string) {
+	for _, e := range new.Diff(old).Elems() {
+		added = append(added, e.String())
+	}
+	for _, e := range old.Diff(new).Elems() {
+		removed = append(removed, e.String())
+	}
+	return added, removed
+}
+
+// diffKeys diffs two rendered key lists, preserving each side's order.
+func diffKeys(old, new []string) (added, removed []string) {
+	os := make(map[string]bool, len(old))
+	for _, k := range old {
+		os[k] = true
+	}
+	ns := make(map[string]bool, len(new))
+	for _, k := range new {
+		ns[k] = true
+	}
+	for _, k := range new {
+		if !os[k] {
+			added = append(added, k)
+		}
+	}
+	for _, k := range old {
+		if !ns[k] {
+			removed = append(removed, k)
+		}
+	}
+	return added, removed
+}

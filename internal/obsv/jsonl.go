@@ -62,5 +62,8 @@ func (j *JSONL) Experiment(s ExperimentStats) { j.emit("experiment", s) }
 // Server implements Collector.
 func (j *JSONL) Server(s ServerStats) { j.emit("server", s) }
 
+// Subscription implements Collector.
+func (j *JSONL) Subscription(s SubscriptionStats) { j.emit("subscription", s) }
+
 // Stream implements Collector.
 func (j *JSONL) Stream(s StreamStats) { j.emit("stream", s) }

@@ -175,6 +175,32 @@ type ServerStats struct {
 	WallNS int64
 }
 
+// SubscriptionStats describes one completed long-lived query subscription
+// (internal/server POST /v1/subscribe): how the standing query was
+// maintained, how many deltas the client received, and how backpressure was
+// resolved. One event per subscription, emitted when its stream closes.
+type SubscriptionStats struct {
+	// Language and Semantics echo the subscribed query.
+	Language  string
+	Semantics string
+	// Mode is the ivm.View maintenance mode: "incremental" or "recompute".
+	Mode string
+	// Events counts delta events written to the client (the initial
+	// snapshot event included).
+	Events int
+	// Coalesced counts database versions folded into an already-pending
+	// delta because the client had not drained the previous event yet.
+	Coalesced int
+	// Reason says why the subscription ended: "client-gone" (the client
+	// disconnected or its context expired), "drain" (server shutdown),
+	// "slow-consumer" (the pending delta outgrew the backpressure cap),
+	// "db-replaced" (the database was re-registered wholesale), or "error"
+	// (maintenance failed).
+	Reason string
+	// WallNS is the subscription's total lifetime in nanoseconds.
+	WallNS int64
+}
+
 // StreamStats describes one streamed pipeline evaluation by the streaming
 // execution runtime (internal/algebra StreamEval): one σ/MAP pipeline over a
 // product compiled into lazy iterators, with pushdown and hash-join steps.
@@ -227,6 +253,7 @@ type Collector interface {
 	Translate(TranslateStats)
 	Experiment(ExperimentStats)
 	Server(ServerStats)
+	Subscription(SubscriptionStats)
 	Stream(StreamStats)
 }
 
@@ -259,6 +286,9 @@ func (Nop) Experiment(ExperimentStats) {}
 
 // Server implements Collector.
 func (Nop) Server(ServerStats) {}
+
+// Subscription implements Collector.
+func (Nop) Subscription(SubscriptionStats) {}
 
 // Stream implements Collector.
 func (Nop) Stream(StreamStats) {}
@@ -330,6 +360,12 @@ func (m multi) Experiment(s ExperimentStats) {
 func (m multi) Server(s ServerStats) {
 	for _, c := range m {
 		c.Server(s)
+	}
+}
+
+func (m multi) Subscription(s SubscriptionStats) {
+	for _, c := range m {
+		c.Subscription(s)
 	}
 }
 

@@ -132,6 +132,17 @@ func (s *Stats) Server(v ServerStats) {
 	s.add(kvs...)
 }
 
+// Subscription implements Collector.
+func (s *Stats) Subscription(v SubscriptionStats) {
+	s.add(
+		"server.subscriptions", int64(1),
+		"server.subscription.events", int64(v.Events),
+		"server.subscription.coalesced", int64(v.Coalesced),
+		"server.subscription.ends."+v.Reason, int64(1),
+		"server.subscription.wallNS", v.WallNS,
+	)
+}
+
 // Stream implements Collector.
 func (s *Stats) Stream(v StreamStats) {
 	s.add(
@@ -157,6 +168,8 @@ func (s *Stats) Stream(v StreamStats) {
 //	expt.runs|wallNS|cpuNS
 //	server.<route>.requests, server.wallNS, server.errors.<code>,
 //	server.cache.hits|misses, server.compiles
+//	server.subscriptions, server.subscription.events|coalesced|wallNS,
+//	server.subscription.ends.<reason>
 //	stream.pipelines|scanned|tested|emitted|hashJoins|pushed
 type Snapshot map[string]int64
 

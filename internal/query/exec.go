@@ -239,7 +239,7 @@ func executeDatalog(plan *Plan, db algebra.DB, opts Options, out *Outcome) (*Out
 	prog := plan.Program
 	if len(db) > 0 {
 		merged := &datalog.Program{Rules: append([]datalog.Rule{}, prog.Rules...)}
-		merged.AddFacts(dbFacts(db)...)
+		merged.AddFacts(DBFacts(db)...)
 		prog = merged
 	}
 	out.IDB = prog.IDB()
@@ -277,13 +277,15 @@ func executeDatalog(plan *Plan, db algebra.DB, opts Options, out *Outcome) (*Out
 	return out, nil
 }
 
-// dbFacts converts a database to datalog facts in the relational idiom:
+// DBFacts converts a database to datalog facts in the relational idiom:
 // each tuple element becomes one fact with the tuple's components as
 // arguments (an n-ary relation), each scalar element a unary fact. This
 // differs from translate.DBFacts, whose unary complex-object encoding
 // serves the paper's simulation theorems — a user writing `edge(X, Y)`
 // against a database relation of pairs expects the relational reading.
-func dbFacts(db algebra.DB) []datalog.Fact {
+// It is exported because the incremental engine (internal/ivm) and the
+// server's mutation surface must agree with Execute on this mapping.
+func DBFacts(db algebra.DB) []datalog.Fact {
 	var out []datalog.Fact
 	for name, s := range db {
 		for _, e := range s.Elems() {

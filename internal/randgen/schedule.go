@@ -1,0 +1,79 @@
+package randgen
+
+import (
+	"fmt"
+	"strings"
+
+	"algrec/internal/datalog"
+	"algrec/internal/value"
+)
+
+// FactBatch is one step of a generated mutation schedule: the facts to
+// delete and the facts to insert, applied deletions-first like
+// ivm.View.Apply. A batch may delete facts that are absent and insert facts
+// already present — the differential harness wants those no-op paths
+// exercised too.
+type FactBatch struct {
+	Delete []datalog.Fact
+	Insert []datalog.Fact
+}
+
+// String renders the batch as "-fact ... +fact ..." in schedule order.
+func (b FactBatch) String() string {
+	var parts []string
+	for _, f := range b.Delete {
+		parts = append(parts, "-"+f.Key())
+	}
+	for _, f := range b.Insert {
+		parts = append(parts, "+"+f.Key())
+	}
+	return strings.Join(parts, " ")
+}
+
+// RenderSchedule renders a schedule one numbered step per line — the stable
+// form used by diffcheck repro dumps.
+func RenderSchedule(sched []FactBatch) string {
+	var sb strings.Builder
+	for i, b := range sched {
+		fmt.Fprintf(&sb, "step %d: %s\n", i, b)
+	}
+	return sb.String()
+}
+
+// FactSchedule generates a random insert/delete schedule over the Datalog
+// generator's schema: mostly EDB facts (d/1, e/2), occasionally a base fact
+// for an IDB predicate (p/1, q/1, s/2) — the incremental engine must treat
+// those as database-base membership alongside derived membership. Arguments
+// come from the same small integer domain as Datalog, so deletions have a
+// real chance of hitting earlier insertions or seed facts. Drawn after
+// Datalog on the same Gen it extends the stream without perturbing any
+// existing generator (the pin_test corpora are unaffected).
+func (g *Gen) FactSchedule() []FactBatch {
+	preds := []pred{{"d", 1}, {"e", 2}}
+	idb := []pred{{"p", 1}, {"q", 1}, {"s", 2}}
+	nConst := 2 + g.intn(2+g.cfg.Size)
+	mk := func() datalog.Fact {
+		rel := preds[g.intn(len(preds))]
+		if g.chance(6) {
+			rel = idb[g.intn(len(idb))]
+		}
+		args := make([]value.Value, rel.arity)
+		for j := range args {
+			args[j] = value.Int(int64(g.intn(nConst)))
+		}
+		return datalog.Fact{Pred: rel.name, Args: args}
+	}
+	sched := make([]FactBatch, 1+g.intn(1+2*g.cfg.Size))
+	for i := range sched {
+		var b FactBatch
+		for j := 0; j < 1+g.intn(3); j++ {
+			if g.chance(3) {
+				b.Delete = append(b.Delete, mk())
+			} else {
+				b.Insert = append(b.Insert, mk())
+			}
+		}
+		sched[i] = b
+	}
+	return sched
+}

@@ -9,36 +9,74 @@ import (
 	"algrec/internal/value/intern"
 )
 
-// registry is the in-memory store of named databases. Databases are
-// immutable once registered: Register replaces the whole value, readers get
-// the map by reference and must not mutate it (query.Execute never does).
+// registry is the in-memory store of named databases. Each entry carries a
+// version counter and the set of live subscriptions watching it: mutations
+// (POST /v1/dbs/{name}/facts) and wholesale replacements (PUT /v1/dbs/{name})
+// bump the version and notify subscribers under the entry's mutex, so every
+// subscription observes the same totally-ordered sequence of database states.
+// Readers get the current snapshot by reference and must not mutate it
+// (query.Execute never does; fact mutations build a fresh copy-on-write DB).
 type registry struct {
 	mu  sync.RWMutex
-	dbs map[string]algebra.DB
+	dbs map[string]*dbEntry
+}
+
+// dbEntry is one named database. The entry outlives any particular database
+// value: replacing the database keeps the entry (and its subscriber set)
+// while swapping db and bumping version.
+type dbEntry struct {
+	name string
+
+	// mu serializes mutations and subscription registration, and guards
+	// every field below. Incremental view maintenance for each subscriber
+	// runs under it, which makes the delta sequence each client sees a
+	// deterministic function of the mutation order.
+	mu      sync.Mutex
+	db      algebra.DB
+	version uint64
+	subs    map[*subscriber]bool
 }
 
 func newRegistry() *registry {
-	return &registry{dbs: map[string]algebra.DB{}}
+	return &registry{dbs: map[string]*dbEntry{}}
 }
 
-// get returns the database registered under name. The empty name is always
-// present and empty: queries that carry their own data (algebra= rel
-// statements, datalog facts) need no registered database.
+// get returns the current database snapshot registered under name. The empty
+// name is always present and empty: queries that carry their own data
+// (algebra= rel statements, datalog facts) need no registered database.
 func (r *registry) get(name string) (algebra.DB, bool) {
 	if name == "" {
 		return nil, true
 	}
+	e, ok := r.entry(name)
+	if !ok {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db, true
+}
+
+// entry returns the registry entry for name ("" has no entry: the anonymous
+// empty database cannot be mutated or subscribed to).
+func (r *registry) entry(name string) (*dbEntry, bool) {
+	if name == "" {
+		return nil, false
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	db, ok := r.dbs[name]
-	return db, ok
+	e, ok := r.dbs[name]
+	return e, ok
 }
 
 // set registers (or replaces) a database under name. The database's values
-// are interned eagerly (outside the lock): the process-global interner is
+// are interned eagerly (outside any lock): the process-global interner is
 // shared by every named database and every concurrent execution, so warming
 // it at registration means each fact is hash-consed once per database load
-// rather than on some request's critical path.
+// rather than on some request's critical path. Replacing an existing entry
+// closes its live subscriptions with reason "db-replaced" — their incremental
+// views were built against the old contents and a wholesale swap is not a
+// fact delta.
 func (r *registry) set(name string, db algebra.DB) {
 	if value.InterningEnabled() {
 		in := intern.Global()
@@ -47,27 +85,47 @@ func (r *registry) set(name string, db algebra.DB) {
 		}
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.dbs[name] = db
+	e, ok := r.dbs[name]
+	if !ok {
+		e = &dbEntry{name: name, subs: map[*subscriber]bool{}}
+		r.dbs[name] = e
+	}
+	r.mu.Unlock()
+
+	e.mu.Lock()
+	e.db = db
+	e.version++
+	for sub := range e.subs {
+		sub.close(reasonReplaced)
+	}
+	e.mu.Unlock()
 }
 
-// dbInfo is one registry entry's listing: the name and its relations with
-// cardinalities.
+// dbInfo is one registry entry's listing: the name, its mutation version,
+// and its relations with cardinalities.
 type dbInfo struct {
 	Name      string         `json:"name"`
+	Version   uint64         `json:"version"`
 	Relations map[string]int `json:"relations"`
 }
 
 // list returns every registered database sorted by name.
 func (r *registry) list() []dbInfo {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]dbInfo, 0, len(r.dbs))
-	for name, db := range r.dbs {
-		info := dbInfo{Name: name, Relations: map[string]int{}}
-		for rel, set := range db {
+	entries := make([]*dbEntry, 0, len(r.dbs))
+	for _, e := range r.dbs {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+
+	out := make([]dbInfo, 0, len(entries))
+	for _, e := range entries {
+		e.mu.Lock()
+		info := dbInfo{Name: e.name, Version: e.version, Relations: map[string]int{}}
+		for rel, set := range e.db {
 			info.Relations[rel] = set.Len()
 		}
+		e.mu.Unlock()
 		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -13,10 +13,18 @@
 //     per request) plus context-based timeouts whose cancellation is polled
 //     between fixpoint rounds, so a runaway query returns a structured
 //     "budget-exceeded" or "timeout" error instead of wedging a worker;
+//   - incremental mutations: POST /v1/dbs/{name}/facts applies fact
+//     insert/delete batches to a registered database, bumping its version;
+//   - live subscriptions: POST /v1/subscribe registers a compiled query and
+//     streams its result deltas (SSE or ndjson) as the database changes,
+//     maintained incrementally by internal/ivm with per-subscription
+//     backpressure accounting;
 //   - graceful shutdown: BeginDrain makes the service refuse new work with
-//     a "shutting-down" error while in-flight requests run to completion;
-//   - observability: every request emits one obsv.ServerStats event, and
-//     /metrics exposes the server's counter snapshot.
+//     a "shutting-down" error while in-flight requests run to completion
+//     and live subscriptions end with a "drain" goodbye;
+//   - observability: every request emits one obsv.ServerStats event, every
+//     subscription one obsv.SubscriptionStats event, and /metrics exposes
+//     the server's counter snapshot.
 //
 // See docs/server.md for the HTTP API and the request/response schemas.
 package server
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +69,10 @@ type Config struct {
 	// MaxUndef is the default stable-search residual bound
 	// (0 = query.DefaultMaxUndef).
 	MaxUndef int
+	// SubMaxPending caps the coalesced undelivered delta a subscription may
+	// accumulate (in fact keys) before it is closed as a slow consumer
+	// (0 = default 4096).
+	SubMaxPending int
 	// Collector receives a copy of every observability event the server
 	// emits, in addition to the server's own /metrics counters.
 	Collector obsv.Collector
@@ -68,17 +81,24 @@ type Config struct {
 // Server is the resident query service. Create one with New, register
 // databases with RegisterDB, and mount Handler on an http.Server.
 type Server struct {
-	cfg      Config
-	cache    *planCache
-	reg      *registry
-	stats    *obsv.Stats
-	col      obsv.Collector
-	mux      *http.ServeMux
-	draining atomic.Bool
+	cfg        Config
+	cache      *planCache
+	reg        *registry
+	stats      *obsv.Stats
+	col        obsv.Collector
+	mux        *http.ServeMux
+	draining   atomic.Bool
+	drainCh    chan struct{} // closed by BeginDrain; ends live subscriptions
+	drainOnce  sync.Once
+	activeSubs atomic.Int64
 
 	// testHookEval, when set, runs between plan lookup and evaluation —
 	// test instrumentation for deterministic drain/concurrency tests.
 	testHookEval func()
+	// testHookSubEvent, when set, runs at the top of each subscription
+	// writer iteration — test instrumentation for deterministic
+	// coalescing and slow-consumer tests.
+	testHookSubEvent func()
 }
 
 // New returns a Server ready to serve. Apply Config defaults here so tests
@@ -93,17 +113,23 @@ func New(cfg Config) *Server {
 	if cfg.DefaultTimeout == 0 {
 		cfg.DefaultTimeout = 30 * time.Second
 	}
+	if cfg.SubMaxPending == 0 {
+		cfg.SubMaxPending = 4096
+	}
 	s := &Server{
-		cfg:   cfg,
-		cache: newPlanCache(cfg.CacheCap),
-		reg:   newRegistry(),
-		stats: obsv.NewStats(),
+		cfg:     cfg,
+		cache:   newPlanCache(cfg.CacheCap),
+		reg:     newRegistry(),
+		stats:   obsv.NewStats(),
+		drainCh: make(chan struct{}),
 	}
 	s.col = obsv.Multi(s.stats, cfg.Collector)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/dbs", s.handleListDBs)
 	s.mux.HandleFunc("PUT /v1/dbs/{name}", s.handlePutDB)
+	s.mux.HandleFunc("POST /v1/dbs/{name}/facts", s.handleMutateFacts)
+	s.mux.HandleFunc("POST /v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -126,11 +152,15 @@ func (s *Server) RegisterDB(name string, db algebra.DB) {
 	s.reg.set(name, db)
 }
 
-// BeginDrain puts the server into draining mode: query and registration
-// requests are refused with the "shutting-down" error while requests already
-// past the drain check run to completion (http.Server.Shutdown waits for
-// them). Draining is one-way.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// BeginDrain puts the server into draining mode: query, registration,
+// mutation and subscription requests are refused with the "shutting-down"
+// error while requests already past the drain check run to completion
+// (http.Server.Shutdown waits for them). Live subscriptions are closed with
+// a "bye" event carrying reason "drain". Draining is one-way.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // Draining reports whether BeginDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -541,5 +571,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		OK         bool          `json:"ok"`
 		Counters   obsv.Snapshot `json:"counters"`
 		CachedPlan int           `json:"cachedPlans"`
-	}{OK: true, Counters: s.stats.Snapshot(), CachedPlan: s.cache.len()})
+		ActiveSubs int64         `json:"activeSubscriptions"`
+	}{OK: true, Counters: s.stats.Snapshot(), CachedPlan: s.cache.len(), ActiveSubs: s.activeSubs.Load()})
 }

@@ -6,7 +6,8 @@
 // this check is advisory (continue-on-error) — the annotations surface the
 // trend without blocking a merge on a noisy neighbor.
 //
-// Speedup gates are the exception: -gates (default "P10:ifpTCChain:2.0")
+// Speedup gates are the exception: -gates (default
+// "P10:ifpTCChain:2.0,P11:ivmInsertChain:5.0")
 // names rows of A/B ablation tables whose measured speedup column must stay
 // above a floor in the CURRENT run. A speedup is a within-run ratio — both
 // sides share the runner, so machine noise largely cancels — which is what
@@ -20,7 +21,7 @@
 //
 // -gatesonly skips the baseline comparison entirely and enforces just the
 // speedup floors, so a record holding only the gated suites (cmd/bench
-// -only P10) is enough — that is the blocking bench-gates CI job.
+// -only P10,P11) is enough — that is the blocking bench-gates CI job.
 //
 // Under GitHub Actions (GITHUB_ACTIONS=true) regressions are emitted as
 // ::warning workflow annotations; elsewhere as plain lines. Exit status: 0
@@ -49,7 +50,7 @@ func run(args []string, stdout, stderr io.Writer, gh bool) int {
 	fs.SetOutput(stderr)
 	baseline := fs.String("baseline", "BENCH_baseline.json", "committed baseline record")
 	tol := fs.Float64("tol", 3.0, "wall-clock slowdown factor that counts as a regression")
-	gates := fs.String("gates", "P10:ifpTCChain:2.0",
+	gates := fs.String("gates", "P10:ifpTCChain:2.0,P11:ivmInsertChain:5.0",
 		"comma-separated suite:rowprefix:minspeedup floors the current run's speedup rows must meet (empty disables)")
 	gatesOnly := fs.Bool("gatesonly", false,
 		"check only the -gates floors, skipping the baseline wall comparison (the current record may then hold just the gated suites)")
