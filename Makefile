@@ -1,5 +1,5 @@
 # Tier-1 verification: everything CI gates on.
-.PHONY: all check race bench bench-delta bench-intern bench-stream bench-idsets bench-ivm bench-check bench-gates fuzz-smoke test test-server serve vet lint docs-fresh build clean
+.PHONY: all check race bench bench-delta bench-intern bench-stream bench-idsets bench-ivm bench-storage bench-check bench-gates fuzz-smoke test test-server test-storage serve vet lint docs-fresh build clean
 
 all: check
 
@@ -22,7 +22,17 @@ test:
 # front-ends' golden tests — under the race detector, twice, because the
 # subscription writer/maintainer handoff is where races would live.
 test-server:
-	go test -race -count=2 ./internal/query ./internal/server ./internal/ivm ./cmd/algrecd ./cmd/algq ./cmd/dlog
+	go test -race -count=2 ./internal/query ./internal/server ./internal/storage ./internal/ivm ./cmd/algrecd ./cmd/algq ./cmd/dlog
+
+# test-storage runs the pluggable-storage engine's own suite — the
+# backend-agnostic conformance tests against both backends, the disk
+# format's property tests, the crash-recovery fault-injection matrix —
+# plus the serving-layer integration: disk-backed end-to-end differential
+# tests, snapshot/restore, and the copy-on-write isolation test, all under
+# the race detector twice.
+test-storage:
+	go test -race -count=2 ./internal/storage
+	go test -race -count=2 -run 'TestDiskServer|TestSnapshotRestore|TestConcurrentReadersDuringBulkLoad' ./internal/server
 
 # serve starts the query daemon on the default address (:8372) with the
 # bundled example graph registered as database "g". See docs/server.md.
@@ -34,7 +44,7 @@ serve:
 # packages (algebra and its stream iterator layer, core) must document every
 # exported declaration. doccheck is stdlib-only (tools/doccheck).
 lint: vet
-	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/algebra/stream,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server,internal/ivm,internal/value/intern,internal/value/idset .
+	go run ./tools/doccheck -strict internal/semantics,internal/translate,internal/algebra,internal/algebra/stream,internal/core,internal/randgen,internal/diffcheck,internal/query,internal/server,internal/ivm,internal/storage,internal/value/intern,internal/value/idset .
 
 # docs-fresh regenerates EXPERIMENTS.md's tables from the committed record
 # (internal/expt/recorded/run.json) and fails if the committed document was
@@ -51,7 +61,7 @@ docs-fresh:
 # under the race detector; diffcheck rides along because its clean-sweep
 # test drives every engine from parallel subtests.
 race:
-	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/algebra/stream ./internal/randgen ./internal/diffcheck ./internal/server ./internal/ivm ./internal/query ./internal/value ./internal/value/intern ./internal/value/idset
+	go test -race ./internal/semantics ./internal/expt ./internal/obsv ./internal/core ./internal/algebra ./internal/algebra/stream ./internal/randgen ./internal/diffcheck ./internal/server ./internal/ivm ./internal/query ./internal/storage ./internal/value ./internal/value/intern ./internal/value/idset
 
 # bench runs the full benchmark suite once per target (see also cmd/bench).
 bench:
@@ -74,14 +84,21 @@ bench-check:
 
 # bench-gates reruns only the gated ablation suites and enforces the
 # -gates speedup floors (default P10 ifpTCChain >= 2x, P11 ivmInsertChain
-# >= 5x). Speedups are within-run A/B ratios, so machine noise cancels and
-# this gate can block merges where the absolute-wall bench-check stays
-# advisory.
+# >= 5x, P12 storageMemServe(96) >= 0.95x — the memory backend may cost
+# the serving path at most 5% over direct evaluation). Speedups are
+# within-run A/B ratios, so machine noise cancels and this gate can block
+# merges where the absolute-wall bench-check stays advisory.
 bench-gates:
 	@tmp=$$(mktemp -d) && \
-	go run ./cmd/bench -only P10,P11 -json $$tmp/current.json >/dev/null && \
+	go run ./cmd/bench -only P10,P11,P12 -json $$tmp/current.json >/dev/null && \
 	go run ./tools/benchcheck -gatesonly $$tmp/current.json; \
 	rc=$$?; rm -rf $$tmp; exit $$rc
+
+# bench-storage reruns just the pluggable-storage experiment (P12): the
+# serving path against the memory and disk backends plus the bulk-load
+# round-trip, printed as a table.
+bench-storage:
+	go run ./cmd/bench -only P12
 
 # fuzz-smoke gives every differential oracle (internal/diffcheck) a short
 # coverage-guided run; CI runs the same targets per-oracle in a matrix, and
@@ -90,7 +107,7 @@ fuzz-smoke:
 	@for t in ExprSemiNaive ExprIFPElim CoreValid CoreInflationary CoreWellFounded \
 	          DlogTheorem62 DlogTheorem43 DlogMinimal DlogStratified DlogStable \
 	          ExprIntern DlogIntern ExprStream DlogStream ExprIDSet DlogIDSet \
-	          DlogIVM; do \
+	          DlogIVM DlogStorage; do \
 		go test ./internal/diffcheck -run '^$$' -fuzz "^Fuzz$$t\$$" -fuzztime 10s || exit 1; \
 	done
 

@@ -8,11 +8,16 @@
 //
 //	algrecd [-addr :8372] [-db name=file.alg ...] [-cache 128]
 //	        [-timeout 30s] [-max-body 1048576]
+//	        [-disk DIR] [-disk-sync] [-mat-budget 1048576] [-scan-workers 0]
 //
 // Each -db flag registers a database from an algebra= script containing only
-// rel statements. On SIGINT/SIGTERM the server drains: new queries are
-// refused with the "shutting-down" error while in-flight requests complete
-// (bounded by -grace).
+// rel statements. With -disk, databases live in on-disk stores under DIR —
+// one directory per database, recovered automatically on restart — and
+// queries materialize only the relations they read, so a database can exceed
+// RAM (-mat-budget caps the resident materialization cache in rows). On
+// SIGINT/SIGTERM the server drains: new queries are refused with the
+// "shutting-down" error while in-flight requests complete (bounded by
+// -grace).
 package main
 
 import (
@@ -61,17 +66,37 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request evaluation timeout (negative disables)")
 	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
 	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
+	diskDir := fs.String("disk", "", "back databases with on-disk stores under this directory (empty = in memory)")
+	diskSync := fs.Bool("disk-sync", false, "fsync the storage log after every mutation batch")
+	matBudget := fs.Int("mat-budget", 0, "disk mode: resident materialization-cache budget in rows (0 = default 1M)")
+	scanWorkers := fs.Int("scan-workers", 0, "disk mode: parallel shard scans per materialized relation (0 = GOMAXPROCS)")
 	var dbs dbFlags
 	fs.Var(&dbs, "db", "register a database: name=file.alg (repeatable; the file is an algebra= script of rel statements)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		CacheCap:       *cache,
 		MaxBodyBytes:   *maxBody,
 		DefaultTimeout: *timeout,
-	})
+	}
+	if *diskDir != "" {
+		cfg.Storage = &server.StorageConfig{
+			Dir:           *diskDir,
+			Sync:          *diskSync,
+			MatBudgetRows: *matBudget,
+			ScanWorkers:   *scanWorkers,
+		}
+	}
+	srv := server.New(cfg)
+	recovered, err := srv.OpenStorage()
+	if err != nil {
+		return fmt.Errorf("storage recovery: %w", err)
+	}
+	for _, name := range recovered {
+		log.Printf("recovered database %q from %s", name, *diskDir)
+	}
 	for _, d := range dbs {
 		src, err := os.ReadFile(d.path)
 		if err != nil {
@@ -81,7 +106,9 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("database %q (%s): %w", d.name, d.path, err)
 		}
-		srv.RegisterDB(d.name, db)
+		if err := srv.RegisterDB(d.name, db); err != nil {
+			return fmt.Errorf("database %q: %w", d.name, err)
+		}
 		log.Printf("registered database %q (%d relations) from %s", d.name, len(db), d.path)
 	}
 	// Route engine-internal events (fixpoint rounds, grounding passes,
@@ -106,6 +133,9 @@ func run(args []string) error {
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("storage close: %w", err)
 	}
 	log.Printf("drained; bye")
 	return nil

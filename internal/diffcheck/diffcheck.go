@@ -175,6 +175,9 @@ var Oracles = []*Oracle{
 	{Name: "dlog-ivm", Kind: KindDatalogIVM,
 		Doc:          "incremental view maintenance replays a mutation schedule bit-for-bit like from-scratch recompute",
 		checkDlogIVM: checkDlogIVM},
+	{Name: "dlog-storage", Kind: KindDatalogIVM,
+		Doc:          "memory and disk storage backends stay bit-for-bit identical under a mutation schedule, through evaluation and reopen",
+		checkDlogIVM: checkDlogStorage},
 }
 
 // ByName returns the oracle with the given name.

@@ -54,3 +54,4 @@ func FuzzDlogStream(f *testing.F)       { fuzzOracle(f, "dlog-stream") }
 func FuzzExprIDSet(f *testing.F)        { fuzzOracle(f, "expr-idset") }
 func FuzzDlogIDSet(f *testing.F)        { fuzzOracle(f, "dlog-idset") }
 func FuzzDlogIVM(f *testing.F)          { fuzzOracle(f, "dlog-ivm") }
+func FuzzDlogStorage(f *testing.F)      { fuzzOracle(f, "dlog-storage") }

@@ -81,6 +81,7 @@ func DefaultSuites(scale int) []Suite {
 		sharded("P9", sz(128, 256, 384), RunP9),
 		sharded("P10", sz(128, 256, 384), RunP10),
 		sharded("P11", sz(128, 256, 384), RunP11),
+		sharded("P12", []int{48, 96}, RunP12),
 		sharded("A1", []int{100, 300}, RunA1),
 		sharded("A2", sz(16, 48), RunA2),
 		sharded("A3", sz(16, 32, 48), RunA3),

@@ -1,0 +1,58 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+func planRels(t *testing.T, lang Language, src string) ([]string, bool) {
+	t.Helper()
+	p, err := Compile(lang, SemValid, src)
+	if err != nil {
+		t.Fatalf("Compile(%s, %q): %v", lang, src, err)
+	}
+	return p.Relations()
+}
+
+func TestRelationsAlgebra(t *testing.T) {
+	names, all := planRels(t, LangAlgebra, "product(union(e, r), s)")
+	if all {
+		t.Fatal("algebra plan claims to need the whole database")
+	}
+	if want := []string{"e", "r", "s"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+}
+
+func TestRelationsIFPBoundExcluded(t *testing.T) {
+	// The ifp-bound variable x is not an external relation.
+	names, all := planRels(t, LangIFPAlgebra, "ifp(x, union(x, e))")
+	if all {
+		t.Fatal("ifp plan claims to need the whole database")
+	}
+	if want := []string{"e"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+}
+
+func TestRelationsAlgebraEq(t *testing.T) {
+	src := `rel base = {1, 2};
+def t = union(e, t);
+query union(t, ext);
+query base;`
+	names, all := planRels(t, LangAlgebraEq, src)
+	if all {
+		t.Fatal("algebra= plan claims to need the whole database")
+	}
+	// t is defined by the script, base is an inline rel: both excluded.
+	if want := []string{"e", "ext"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+}
+
+func TestRelationsDatalogNeedsAll(t *testing.T) {
+	names, all := planRels(t, LangDatalog, "p(x) :- e(x, y).")
+	if !all || names != nil {
+		t.Fatalf("datalog plan = (%v, %v), want (nil, true)", names, all)
+	}
+}

@@ -1,60 +1,83 @@
 package server
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"algrec/internal/algebra"
+	"algrec/internal/query"
 	"algrec/internal/value"
 	"algrec/internal/value/intern"
 )
 
-// registry is the in-memory store of named databases. Each entry carries a
-// version counter and the set of live subscriptions watching it: mutations
-// (POST /v1/dbs/{name}/facts) and wholesale replacements (PUT /v1/dbs/{name})
-// bump the version and notify subscribers under the entry's mutex, so every
-// subscription observes the same totally-ordered sequence of database states.
-// Readers get the current snapshot by reference and must not mutate it
-// (query.Execute never does; fact mutations build a fresh copy-on-write DB).
+// registry is the store of named databases. Each entry carries a version
+// counter and the set of live subscriptions watching it: mutations
+// (POST /v1/dbs/{name}/facts), wholesale replacements (PUT /v1/dbs/{name})
+// and restores bump the version and notify subscribers under the entry's
+// writer mutex, so every subscription observes the same totally-ordered
+// sequence of database states.
+//
+// Reads are copy-on-write: the current (db, version) pair is an immutable
+// dbState behind an atomic pointer, so queries and listings load it without
+// taking any entry lock and are never blocked by a bulk load — a writer
+// builds the next state aside and swaps the pointer when done. Snapshots
+// (labeled database versions) are O(1) retained pointers for the same
+// reason: no database value is ever mutated in place.
+//
+// With a disk backend configured (Config.Storage), an entry's relation data
+// lives in its storage.Store instead of cur.db (which stays nil); readers
+// materialize only the relations a plan needs, through the entry's
+// materialization cache. storage.Store serializes writers internally and
+// never blocks concurrent readers, preserving the same property.
 type registry struct {
+	// storage, when non-nil, backs every database with an on-disk store
+	// under storage.Dir instead of keeping relations resident.
+	storage *StorageConfig
+
 	mu  sync.RWMutex
 	dbs map[string]*dbEntry
 }
 
+// dbState is one immutable (database, version) pair. For disk-backed entries
+// db is nil — the data lives in the entry's store — and only version is
+// meaningful.
+type dbState struct {
+	db      algebra.DB
+	version uint64
+}
+
 // dbEntry is one named database. The entry outlives any particular database
 // value: replacing the database keeps the entry (and its subscriber set)
-// while swapping db and bumping version.
+// while swapping cur and bumping the version.
 type dbEntry struct {
 	name string
 
-	// mu serializes mutations and subscription registration, and guards
-	// every field below. Incremental view maintenance for each subscriber
-	// runs under it, which makes the delta sequence each client sees a
-	// deterministic function of the mutation order.
-	mu      sync.Mutex
-	db      algebra.DB
-	version uint64
-	subs    map[*subscriber]bool
+	// cur is the current state, readable lock-free. Writers replace it
+	// under mu.
+	cur atomic.Pointer[dbState]
+
+	// mu serializes writers (mutations, replacement, snapshot, restore) and
+	// subscription registration, and guards subs and snaps. Incremental view
+	// maintenance for each subscriber runs under it, which makes the delta
+	// sequence each client sees a deterministic function of the mutation
+	// order.
+	mu    sync.Mutex
+	subs  map[*subscriber]bool
+	snaps map[string]algebra.DB
+	store *entryStore // nil: memory-resident
 }
 
 func newRegistry() *registry {
 	return &registry{dbs: map[string]*dbEntry{}}
 }
 
-// get returns the current database snapshot registered under name. The empty
-// name is always present and empty: queries that carry their own data
-// (algebra= rel statements, datalog facts) need no registered database.
-func (r *registry) get(name string) (algebra.DB, bool) {
-	if name == "" {
-		return nil, true
-	}
-	e, ok := r.entry(name)
-	if !ok {
-		return nil, false
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.db, true
+func newDBEntry(name string) *dbEntry {
+	e := &dbEntry{name: name, subs: map[*subscriber]bool{}, snaps: map[string]algebra.DB{}}
+	e.cur.Store(&dbState{})
+	return e
 }
 
 // entry returns the registry entry for name ("" has no entry: the anonymous
@@ -69,6 +92,43 @@ func (r *registry) entry(name string) (*dbEntry, bool) {
 	return e, ok
 }
 
+// dbForPlan returns the database state the plan should execute against:
+// ok=false when no database of that name exists (the empty name is always
+// present and empty). For memory entries this is the lock-free current
+// snapshot; for disk entries, a materialization of exactly the relations the
+// plan can read (all of them for datalog, which folds the whole database
+// into its fact base).
+func (r *registry) dbForPlan(name string, plan *query.Plan) (db algebra.DB, ok bool, err error) {
+	if name == "" {
+		return nil, true, nil
+	}
+	e, ok := r.entry(name)
+	if !ok {
+		return nil, false, nil
+	}
+	db, err = e.planDB(plan)
+	return db, true, err
+}
+
+// planDB is dbForPlan for one entry; safe without the entry mutex.
+func (e *dbEntry) planDB(plan *query.Plan) (algebra.DB, error) {
+	if e.store == nil {
+		return e.cur.Load().db, nil
+	}
+	names, all := plan.Relations()
+	return e.store.materialize(names, all)
+}
+
+// fullDB returns the entry's complete current database (materializing every
+// relation of a disk entry). Safe without the entry mutex; writers that need
+// a consistent copy call it under mu.
+func (e *dbEntry) fullDB() (algebra.DB, error) {
+	if e.store == nil {
+		return e.cur.Load().db, nil
+	}
+	return e.store.materialize(nil, true)
+}
+
 // set registers (or replaces) a database under name. The database's values
 // are interned eagerly (outside any lock): the process-global interner is
 // shared by every named database and every concurrent execution, so warming
@@ -76,8 +136,10 @@ func (r *registry) entry(name string) (*dbEntry, bool) {
 // rather than on some request's critical path. Replacing an existing entry
 // closes its live subscriptions with reason "db-replaced" — their incremental
 // views were built against the old contents and a wholesale swap is not a
-// fact delta.
-func (r *registry) set(name string, db algebra.DB) {
+// fact delta. With a disk backend, the load lands in the entry's store;
+// concurrent readers keep seeing the pre-replacement state until the single
+// atomic batch applies.
+func (r *registry) set(name string, db algebra.DB) error {
 	if value.InterningEnabled() {
 		in := intern.Global()
 		for _, set := range db {
@@ -85,31 +147,114 @@ func (r *registry) set(name string, db algebra.DB) {
 		}
 	}
 	r.mu.Lock()
-	e, ok := r.dbs[name]
-	if !ok {
-		e = &dbEntry{name: name, subs: map[*subscriber]bool{}}
+	e, existed := r.dbs[name]
+	if !existed {
+		e = newDBEntry(name)
 		r.dbs[name] = e
 	}
 	r.mu.Unlock()
 
 	e.mu.Lock()
-	e.db = db
-	e.version++
+	defer e.mu.Unlock()
+	if r.storage != nil {
+		if e.store == nil {
+			st, err := r.storage.open(name)
+			if err != nil {
+				if !existed {
+					r.mu.Lock()
+					delete(r.dbs, name)
+					r.mu.Unlock()
+				}
+				return err
+			}
+			e.store = st
+		}
+		if err := e.store.replace(db); err != nil {
+			return err
+		}
+		db = nil // the store holds the data; keep nothing resident
+	}
+	e.cur.Store(&dbState{db: db, version: e.cur.Load().version + 1})
 	for sub := range e.subs {
 		sub.close(reasonReplaced)
 	}
-	e.mu.Unlock()
+	return nil
+}
+
+// snapshot labels the entry's current database contents. Memory entries
+// retain the current state pointer — O(1), since no database value is ever
+// mutated in place; disk entries materialize a full copy and also checkpoint
+// (and compact) the underlying store. Re-using a label overwrites it.
+func (r *registry) snapshot(name, label string) (version uint64, err error) {
+	e, ok := r.entry(name)
+	if !ok {
+		return 0, errUnknownDB(name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	db, err := e.fullDB()
+	if err != nil {
+		return 0, err
+	}
+	if e.store != nil {
+		if err := e.store.checkpoint(); err != nil {
+			return 0, err
+		}
+	}
+	e.snaps[label] = db
+	return e.cur.Load().version, nil
+}
+
+// restore replaces the entry's database with a labeled snapshot's contents.
+// The snapshot remains (restore is repeatable). Live subscriptions close
+// with reason "db-restored" — a wholesale swap, like replacement.
+func (r *registry) restore(name, label string) (version uint64, err error) {
+	e, ok := r.entry(name)
+	if !ok {
+		return 0, errUnknownDB(name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	db, ok := e.snaps[label]
+	if !ok {
+		return 0, fmt.Errorf("%w: database %q has no snapshot labeled %q", errSnapshotNotFound, name, label)
+	}
+	if e.store != nil {
+		if err := e.store.replace(db); err != nil {
+			return 0, err
+		}
+		db = nil
+	}
+	v := e.cur.Load().version + 1
+	e.cur.Store(&dbState{db: db, version: v})
+	for sub := range e.subs {
+		sub.close(reasonRestored)
+	}
+	return v, nil
+}
+
+// Sentinel errors the snapshot/restore handlers map to structured codes.
+var (
+	errDBNotFound       = errors.New("unknown database")
+	errSnapshotNotFound = errors.New("unknown snapshot")
+)
+
+func errUnknownDB(name string) error {
+	return fmt.Errorf("%w: no database named %q is registered", errDBNotFound, name)
 }
 
 // dbInfo is one registry entry's listing: the name, its mutation version,
-// and its relations with cardinalities.
+// its relations with cardinalities, and its snapshot labels.
 type dbInfo struct {
 	Name      string         `json:"name"`
 	Version   uint64         `json:"version"`
 	Relations map[string]int `json:"relations"`
+	Snapshots []string       `json:"snapshots,omitempty"`
 }
 
-// list returns every registered database sorted by name.
+// list returns every registered database sorted by name. Relation
+// cardinalities come from the lock-free current state (memory) or the
+// store's index (disk) — listing never blocks a bulk load either way.
 func (r *registry) list() []dbInfo {
 	r.mu.RLock()
 	entries := make([]*dbEntry, 0, len(r.dbs))
@@ -120,14 +265,45 @@ func (r *registry) list() []dbInfo {
 
 	out := make([]dbInfo, 0, len(entries))
 	for _, e := range entries {
+		info := dbInfo{Name: e.name, Version: e.cur.Load().version, Relations: map[string]int{}}
+		if e.store != nil {
+			for _, ri := range e.store.relInfo() {
+				info.Relations[ri.Name] = ri.Len
+			}
+		} else {
+			for rel, set := range e.cur.Load().db {
+				info.Relations[rel] = set.Len()
+			}
+		}
 		e.mu.Lock()
-		info := dbInfo{Name: e.name, Version: e.version, Relations: map[string]int{}}
-		for rel, set := range e.db {
-			info.Relations[rel] = set.Len()
+		for label := range e.snaps {
+			info.Snapshots = append(info.Snapshots, label)
 		}
 		e.mu.Unlock()
+		sort.Strings(info.Snapshots)
 		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// closeStores closes every entry's disk store (no-op for memory entries).
+func (r *registry) closeStores() error {
+	r.mu.RLock()
+	entries := make([]*dbEntry, 0, len(r.dbs))
+	for _, e := range r.dbs {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	var first error
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.store != nil {
+			if err := e.store.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		e.mu.Unlock()
+	}
+	return first
 }

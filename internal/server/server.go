@@ -76,6 +76,11 @@ type Config struct {
 	// Collector receives a copy of every observability event the server
 	// emits, in addition to the server's own /metrics counters.
 	Collector obsv.Collector
+	// Storage, when non-nil, backs named databases with on-disk stores
+	// under Storage.Dir instead of keeping relations in memory; call
+	// OpenStorage before serving to recover databases persisted by earlier
+	// runs, and Close on shutdown to flush them.
+	Storage *StorageConfig
 }
 
 // Server is the resident query service. Create one with New, register
@@ -123,12 +128,17 @@ func New(cfg Config) *Server {
 		stats:   obsv.NewStats(),
 		drainCh: make(chan struct{}),
 	}
+	if cfg.Storage != nil {
+		s.reg.storage = cfg.Storage.withDefaults()
+	}
 	s.col = obsv.Multi(s.stats, cfg.Collector)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/dbs", s.handleListDBs)
 	s.mux.HandleFunc("PUT /v1/dbs/{name}", s.handlePutDB)
 	s.mux.HandleFunc("POST /v1/dbs/{name}/facts", s.handleMutateFacts)
+	s.mux.HandleFunc("POST /v1/dbs/{name}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/dbs/{name}/restore", s.handleRestore)
 	s.mux.HandleFunc("POST /v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -147,9 +157,27 @@ func (s *Server) Collector() obsv.Collector { return s.col }
 // Stats returns the server's counter collector (the /metrics source).
 func (s *Server) Stats() *obsv.Stats { return s.stats }
 
-// RegisterDB registers (or replaces) a named database.
-func (s *Server) RegisterDB(name string, db algebra.DB) {
-	s.reg.set(name, db)
+// RegisterDB registers (or replaces) a named database. With disk storage
+// configured the load lands in the database's on-disk store, which can fail;
+// without it the error is always nil.
+func (s *Server) RegisterDB(name string, db algebra.DB) error {
+	return s.reg.set(name, db)
+}
+
+// OpenStorage recovers the databases persisted under Config.Storage.Dir by
+// earlier runs, returning their names. A no-op (nil, nil) without a storage
+// config. Call it once, before serving.
+func (s *Server) OpenStorage() ([]string, error) {
+	if s.reg.storage == nil {
+		return nil, nil
+	}
+	return s.reg.openDisk()
+}
+
+// Close flushes and closes every database's disk store (a no-op for
+// memory-resident databases). Call it after the HTTP server has shut down.
+func (s *Server) Close() error {
+	return s.reg.closeStores()
 }
 
 // BeginDrain puts the server into draining mode: query, registration,
@@ -176,6 +204,8 @@ const (
 	codeBudgetExceed  = "budget-exceeded"
 	codeCanceled      = "canceled"
 	codeUnsupportedSm = "unsupported-semantics"
+	codeUnknownSnap   = "unknown-snapshot"
+	codeStorage       = "storage-error"
 )
 
 // httpStatus maps a structured error code to its HTTP status.
@@ -183,8 +213,10 @@ func httpStatus(code string) int {
 	switch code {
 	case codeBadRequest:
 		return http.StatusBadRequest
-	case codeUnknownDB:
+	case codeUnknownDB, codeUnknownSnap:
 		return http.StatusNotFound
+	case codeStorage:
+		return http.StatusInternalServerError
 	case codeOversized:
 		return http.StatusRequestEntityTooLarge
 	case codeShuttingDown:
@@ -329,17 +361,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(codeBadRequest, "missing \"query\" field")
 		return
 	}
-	db, ok := s.reg.get(req.DB)
-	if !ok {
-		fail(codeUnknownDB, fmt.Sprintf("no database named %q is registered", req.DB))
-		return
-	}
-
 	ev.CacheLookup = true
 	plan, hit, compiled, err := s.cache.get(cacheKey{lang: lang, sem: sem, src: req.Query})
 	ev.CacheHit, ev.Compiled = hit, compiled
 	if err != nil {
 		fail(query.ErrorCode(err, true), err.Error())
+		return
+	}
+
+	// The plan determines which relations a disk-backed database must
+	// materialize, so the database is resolved after plan lookup.
+	db, ok, err := s.reg.dbForPlan(req.DB, plan)
+	if !ok {
+		fail(codeUnknownDB, fmt.Sprintf("no database named %q is registered", req.DB))
+		return
+	}
+	if err != nil {
+		fail(codeStorage, err.Error())
 		return
 	}
 
@@ -516,7 +554,10 @@ func (s *Server) handlePutDB(w http.ResponseWriter, r *http.Request) {
 		fail(codeParseError, err.Error())
 		return
 	}
-	s.reg.set(name, db)
+	if err := s.reg.set(name, db); err != nil {
+		fail(codeStorage, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
 		OK        bool   `json:"ok"`
 		Name      string `json:"name"`

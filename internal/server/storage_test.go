@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// chainScript builds a database script with an n-edge chain relation.
+func chainScript(n int) string {
+	var sb strings.Builder
+	sb.WriteString("rel edge = {")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(n%03d, n%03d)", i, i+1)
+	}
+	sb.WriteString("};\n")
+	return sb.String()
+}
+
+// putDBScript PUTs a database script to /v1/dbs/{name}.
+func putDBScript(t *testing.T, ts *httptest.Server, name, script string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/dbs/"+name, strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT db: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var bad errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&bad)
+		t.Fatalf("PUT db: status %d, error %+v", resp.StatusCode, bad)
+	}
+}
+
+// postSnapshotOp posts to /v1/dbs/{name}/snapshot or /restore.
+func postSnapshotOp(t *testing.T, ts *httptest.Server, name, op, label string) (int, snapshotResponse, errorBody) {
+	t.Helper()
+	body, _ := json.Marshal(snapshotRequest{Snapshot: label})
+	resp, err := http.Post(ts.URL+"/v1/dbs/"+name+"/"+op, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", op, err)
+	}
+	defer resp.Body.Close()
+	var okBody snapshotResponse
+	var bad errorBody
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := dec.Decode(&okBody); err != nil {
+			t.Fatalf("decode %s response: %v", op, err)
+		}
+	} else if err := dec.Decode(&bad); err != nil {
+		t.Fatalf("decode %s error: %v", op, err)
+	}
+	return resp.StatusCode, okBody, bad
+}
+
+// newDiskServer builds a disk-backed server over dir with a tiny
+// materialization budget, so databases larger than the cache still answer.
+func newDiskServer(t *testing.T, dir string, budget int) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Storage: &StorageConfig{Dir: dir, MatBudgetRows: budget}})
+	if _, err := s.OpenStorage(); err != nil {
+		t.Fatalf("OpenStorage: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// storageWorkloads is the query matrix both backends must answer
+// identically: every language, hitting both the precise-relations and the
+// whole-database materialization paths.
+var storageWorkloads = []queryRequest{
+	{DB: "g", Language: "algebra", Query: joinExpr},
+	{DB: "g", Language: "ifp-algebra", Query: tcIFP},
+	{DB: "g", Language: "algebra=", Query: tcScript},
+	{DB: "g", Language: "datalog", Semantics: "stratified", Query: "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z)."},
+}
+
+// compareServers runs the workload matrix against both servers and fails on
+// the first response divergence.
+func compareServers(t *testing.T, mem, disk *httptest.Server, note string) {
+	t.Helper()
+	for _, req := range storageWorkloads {
+		mStatus, mOK, mBad := postQuery(t, mem, req)
+		dStatus, dOK, dBad := postQuery(t, disk, req)
+		if mStatus != dStatus {
+			t.Fatalf("%s: %s/%s: status mem=%d disk=%d (mem err %+v, disk err %+v)",
+				note, req.Language, req.Query, mStatus, dStatus, mBad, dBad)
+		}
+		if !reflect.DeepEqual(mOK.Result, dOK.Result) {
+			t.Fatalf("%s: %s/%s: results diverge\nmem:  %+v\ndisk: %+v",
+				note, req.Language, req.Query, mOK.Result, dOK.Result)
+		}
+	}
+}
+
+// TestDiskServerMatchesMemory is the serving-layer differential test: the
+// same database, mutations and queries through a memory server and a
+// disk-backed one (whose materialization budget is far smaller than the
+// database) must produce identical responses.
+func TestDiskServerMatchesMemory(t *testing.T) {
+	memS := New(Config{})
+	memTS := httptest.NewServer(memS.Handler())
+	t.Cleanup(memTS.Close)
+	_, diskTS := newDiskServer(t, t.TempDir(), 10)
+
+	script := chainScript(60)
+	putDBScript(t, memTS, "g", script)
+	putDBScript(t, diskTS, "g", script)
+	compareServers(t, memTS, diskTS, "after load")
+
+	// Fact mutations, including a delete of a loaded edge.
+	mut := mutateRequest{
+		Insert: []factJSON{jsonFact("edge", "x", "n000"), jsonFact("edge", "n060", "x")},
+		Delete: []factJSON{jsonFact("edge", "n030", "n031")},
+	}
+	for _, ts := range []*httptest.Server{memTS, diskTS} {
+		status, _, bad := postFacts(t, ts, "g", mut)
+		if status != http.StatusOK {
+			t.Fatalf("mutate: status %d, error %+v", status, bad)
+		}
+	}
+	compareServers(t, memTS, diskTS, "after mutation")
+
+	// Heterogeneous shapes: a relation of pairs demoted by a scalar insert
+	// (the storage RearityBatch path), then queried through both backends.
+	het := mutateRequest{Insert: []factJSON{
+		jsonFact("p", "a", "b"),
+		jsonFact("p", "c", "d"),
+	}}
+	het2 := mutateRequest{
+		Insert: []factJSON{jsonFact("p", "solo"), jsonFact("p", []any{"t", "u", "v"})},
+		Delete: []factJSON{jsonFact("p", "c", "d")},
+	}
+	for _, ts := range []*httptest.Server{memTS, diskTS} {
+		for _, m := range []mutateRequest{het, het2} {
+			status, _, bad := postFacts(t, ts, "g", m)
+			if status != http.StatusOK {
+				t.Fatalf("heterogeneous mutate: status %d, error %+v", status, bad)
+			}
+		}
+	}
+	mReq := queryRequest{DB: "g", Language: "algebra", Query: "p"}
+	_, mOK, _ := postQuery(t, memTS, mReq)
+	_, dOK, _ := postQuery(t, diskTS, mReq)
+	if mOK.Result.Value == "" || mOK.Result.Value != dOK.Result.Value {
+		t.Fatalf("heterogeneous relation diverges: mem %q, disk %q", mOK.Result.Value, dOK.Result.Value)
+	}
+}
+
+// TestDiskServerRecovery restarts a disk-backed server over the same
+// directory and checks the databases (including mutations applied after the
+// initial load) come back.
+func TestDiskServerRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := New(Config{Storage: &StorageConfig{Dir: dir}})
+	if _, err := s1.OpenStorage(); err != nil {
+		t.Fatalf("OpenStorage: %v", err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	putDBScript(t, ts1, "g", chainScript(20))
+	putDBScript(t, ts1, "other db!", `rel r = {1, 2, 3};`) // unsafe name: hex dir
+	status, _, bad := postFacts(t, ts1, "g", mutateRequest{Insert: []factJSON{jsonFact("edge", "n020", "n021")}})
+	if status != http.StatusOK {
+		t.Fatalf("mutate: status %d, error %+v", status, bad)
+	}
+	_, want, _ := postQuery(t, ts1, queryRequest{DB: "g", Language: "ifp-algebra", Query: tcIFP})
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := New(Config{Storage: &StorageConfig{Dir: dir}})
+	names, err := s2.OpenStorage()
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if !reflect.DeepEqual(names, []string{"g", "other db!"}) {
+		t.Fatalf("recovered %v, want [g, other db!]", names)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		if err := s2.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	_, got, _ := postQuery(t, ts2, queryRequest{DB: "g", Language: "ifp-algebra", Query: tcIFP})
+	if got.Result.Value == "" || got.Result.Value != want.Result.Value {
+		t.Fatalf("recovered closure %q, want %q", got.Result.Value, want.Result.Value)
+	}
+	_, r, _ := postQuery(t, ts2, queryRequest{DB: "other db!", Language: "algebra", Query: "r"})
+	if r.Result.Value != "{1, 2, 3}" {
+		t.Fatalf("recovered r = %q", r.Result.Value)
+	}
+}
+
+// TestSnapshotRestore drives the snapshot/restore endpoints on both
+// backends: restore returns the database to the labeled contents, bumps the
+// version, and closes live subscriptions with reason db-restored.
+func TestSnapshotRestore(t *testing.T) {
+	for _, mode := range []string{"memory", "disk"} {
+		t.Run(mode, func(t *testing.T) {
+			var s *Server
+			var ts *httptest.Server
+			if mode == "disk" {
+				s, ts = newDiskServer(t, t.TempDir(), 0)
+				putDBScript(t, ts, "g", `rel edge = {(a, b), (b, c), (c, d)};`)
+			} else {
+				s, ts = newTestServer(t, Config{})
+			}
+
+			queryTC := func() string {
+				t.Helper()
+				status, ok, bad := postQuery(t, ts, queryRequest{DB: "g", Language: "ifp-algebra", Query: tcIFP})
+				if status != http.StatusOK {
+					t.Fatalf("query: status %d, error %+v", status, bad)
+				}
+				return ok.Result.Value
+			}
+			before := queryTC()
+
+			status, snap, bad := postSnapshotOp(t, ts, "g", "snapshot", "before")
+			if status != http.StatusOK {
+				t.Fatalf("snapshot: status %d, error %+v", status, bad)
+			}
+
+			// A live subscription survives the snapshot but not the restore.
+			st := openSub(t, ts, dlogSub("g", tcProgram))
+			if e := st.next(t); e.Event != "snapshot" {
+				t.Fatalf("first event = %q, want snapshot", e.Event)
+			}
+
+			postFacts(t, ts, "g", mutateRequest{Insert: []factJSON{jsonFact("edge", "d", "e")}})
+			if after := queryTC(); after == before {
+				t.Fatal("mutation did not change the closure")
+			}
+			if e := st.next(t); e.Event != "delta" {
+				t.Fatalf("event after mutation = %q, want delta", e.Event)
+			}
+
+			status, rest, bad := postSnapshotOp(t, ts, "g", "restore", "before")
+			if status != http.StatusOK {
+				t.Fatalf("restore: status %d, error %+v", status, bad)
+			}
+			if rest.Version <= snap.Version {
+				t.Fatalf("restore version %d did not advance past %d", rest.Version, snap.Version)
+			}
+			if got := queryTC(); got != before {
+				t.Fatalf("restored closure %q, want %q", got, before)
+			}
+			if e := st.next(t); e.Event != "bye" || e.Reason != reasonRestored {
+				t.Fatalf("restore event = %+v, want bye/db-restored", e)
+			}
+
+			// Restore is repeatable; the listing shows the label.
+			if status, _, _ := postSnapshotOp(t, ts, "g", "restore", "before"); status != http.StatusOK {
+				t.Fatalf("second restore: status %d", status)
+			}
+			infos := s.reg.list()
+			if len(infos) != 1 || !reflect.DeepEqual(infos[0].Snapshots, []string{"before"}) {
+				t.Fatalf("list = %+v", infos)
+			}
+
+			// Structured errors.
+			if status, _, bad := postSnapshotOp(t, ts, "g", "restore", "nope"); status != http.StatusNotFound || bad.Error.Code != codeUnknownSnap {
+				t.Fatalf("unknown label: %d %+v", status, bad)
+			}
+			if status, _, bad := postSnapshotOp(t, ts, "nope", "snapshot", "x"); status != http.StatusNotFound || bad.Error.Code != codeUnknownDB {
+				t.Fatalf("unknown db: %d %+v", status, bad)
+			}
+			if status, _, bad := postSnapshotOp(t, ts, "g", "snapshot", ""); status != http.StatusBadRequest || bad.Error.Code != codeBadRequest {
+				t.Fatalf("missing label: %d %+v", status, bad)
+			}
+		})
+	}
+}

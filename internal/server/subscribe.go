@@ -24,6 +24,7 @@ const (
 	reasonDrain        = "drain"         // the server began draining
 	reasonSlowConsumer = "slow-consumer" // the pending delta outgrew SubMaxPending
 	reasonReplaced     = "db-replaced"   // PUT /v1/dbs/{name} swapped the database
+	reasonRestored     = "db-restored"   // POST /v1/dbs/{name}/restore swapped the database
 	reasonError        = "error"         // view maintenance failed (budget, interrupt)
 )
 
@@ -349,9 +350,18 @@ func (s *Server) handleMutateFacts(w http.ResponseWriter, r *http.Request) {
 	}
 
 	entry.mu.Lock()
-	entry.db = ivm.ApplyDB(entry.db, ins, del)
-	entry.version++
-	version := entry.version
+	st := entry.cur.Load()
+	version := st.version + 1
+	if entry.store != nil {
+		if err := entry.store.applyFacts(ins, del); err != nil {
+			entry.mu.Unlock()
+			fail(codeStorage, err.Error())
+			return
+		}
+		entry.cur.Store(&dbState{version: version})
+	} else {
+		entry.cur.Store(&dbState{db: ivm.ApplyDB(st.db, ins, del), version: version})
+	}
 	for sub := range entry.subs {
 		d, applyErr := sub.view.Apply(ins, del)
 		if applyErr != nil {
@@ -459,7 +469,11 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	// delta observe the same totally-ordered mutation sequence, with no
 	// window for a lost update between view construction and registration.
 	entry.mu.Lock()
-	view, verr := ivm.New(plan, entry.db, opts)
+	db, verr := entry.planDB(plan)
+	var view *ivm.View
+	if verr == nil {
+		view, verr = ivm.New(plan, db, opts)
+	}
 	var sub *subscriber
 	if verr == nil {
 		var out *query.Outcome
@@ -467,7 +481,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		if verr == nil {
 			res := renderResult(out)
 			sub = &subscriber{entry: entry, view: view, notify: make(chan struct{}, 1)}
-			sub.pending = &subEventJSON{Event: "snapshot", Version: entry.version, Result: &res}
+			sub.pending = &subEventJSON{Event: "snapshot", Version: entry.cur.Load().version, Result: &res}
 			entry.subs[sub] = true
 		}
 	}

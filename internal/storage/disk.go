@@ -1,0 +1,531 @@
+package storage
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"algrec/internal/value"
+	"algrec/internal/value/intern"
+)
+
+// DiskOptions configures a disk store.
+type DiskOptions struct {
+	// Sync fsyncs the log after every Apply. Off by default: the OS decides
+	// when batches become durable, and recovery still sees a well-formed
+	// prefix (frames are CRC-guarded); tests that assert exact durability
+	// turn it on.
+	Sync bool
+	// Interner supplies the value vocabulary; nil means the process-global
+	// interner.
+	Interner *intern.Interner
+}
+
+// DiskStore is the on-disk backend: an append-only log of framed records
+// (see codec.go) under a generation scheme —
+//
+//	CURRENT     the current generation number N (written via tmp+rename)
+//	snap-N.seg  generation N's checkpoint: value dictionary + full relations
+//	log-N.seg   generation N's log: dictionary growth + applied batches
+//
+// Row payloads live only in the segment files; what stays resident is the
+// value dictionary (store-vid <-> interned ID, both directions) and one
+// open-addressed index per relation whose entries are 8-byte file references
+// (offset plus which segment), plus the insertion-order ref list scans
+// follow. Snapshot() writes a new generation — re-emitting only the values
+// live rows still reach — then atomically flips CURRENT and deletes the old
+// files; Apply triggers it in the background once dead log rows outnumber
+// live ones.
+type DiskStore struct {
+	dir string
+	opt DiskOptions
+	in  *intern.Interner
+
+	mu     sync.RWMutex
+	broken error // sticky first I/O failure; every later call returns it
+	closed bool
+
+	gen    uint64
+	snapF  *os.File // read-only checkpoint segment; nil when the generation has none
+	logF   *os.File
+	logOff int64 // append position == durable+buffered length of logF
+
+	vids  []intern.ID           // store-vid -> process intern ID
+	vidOf map[intern.ID]uint32  // process intern ID -> store-vid
+	rels  map[string]*diskRel
+
+	deadRows   int // log rows no longer reachable (deleted, superseded, reset away)
+	compacting bool
+	compWG     sync.WaitGroup
+}
+
+// diskRel is one relation's resident index. The struct survives Reset and
+// compaction (only its slices are replaced), so Relation handles observe
+// later mutations.
+type diskRel struct {
+	ds    *DiskStore
+	name  string
+	arity int
+
+	// order holds one file ref per inserted row, in insertion order; dead is
+	// a tombstone bitmap over it; hashes caches each row's intern.HashRow so
+	// index probes only touch the disk to confirm an exact hash match.
+	order  []uint64
+	hashes []uint64
+	dead   []uint64
+	live   int
+
+	// table is the open-addressed index: slot values are order-index+2,
+	// 0 = empty, 1 = tombstone.
+	table []uint32
+	used  uint32
+	mask  uint32
+
+	version    uint64
+	idxMu      sync.Mutex
+	idxVersion uint64
+	colIdx     map[int]map[intern.ID][]int32
+}
+
+const (
+	currentName  = "CURRENT"
+	diskSlotTomb = 1
+	// compactMinDead is the floor below which dead rows never trigger a
+	// background compaction.
+	compactMinDead = 1 << 12
+)
+
+func segName(kind string, gen uint64) string {
+	return fmt.Sprintf("%s-%d.seg", kind, gen)
+}
+
+// OpenDisk opens (or creates) the disk store rooted at dir, recovering to
+// the last durable state: the current generation's snapshot plus the replay
+// of the longest well-formed log prefix. A torn log tail is truncated away;
+// a damaged snapshot or an undecodable record before the tail returns
+// ErrCorrupt.
+func OpenDisk(dir string, opt DiskOptions) (*DiskStore, error) {
+	in := opt.Interner
+	if in == nil {
+		in = intern.Global()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ds := &DiskStore{
+		dir:   dir,
+		opt:   opt,
+		in:    in,
+		vidOf: map[intern.ID]uint32{},
+		rels:  map[string]*diskRel{},
+	}
+	cur, err := os.ReadFile(filepath.Join(dir, currentName))
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		ds.gen = 1
+		if err := ds.createLog(); err != nil {
+			return nil, err
+		}
+		if err := writeCurrent(dir, ds.gen); err != nil {
+			ds.logF.Close()
+			return nil, err
+		}
+		return ds, nil
+	case err != nil:
+		return nil, err
+	}
+	ds.gen, err = strconv.ParseUint(strings.TrimSpace(string(cur)), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: unreadable CURRENT: %v", ErrCorrupt, err)
+	}
+	ds.removeStray()
+	if err := ds.openSnap(); err != nil {
+		return nil, err
+	}
+	if err := ds.openLog(); err != nil {
+		if ds.snapF != nil {
+			ds.snapF.Close()
+		}
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Dir returns the store's root directory.
+func (ds *DiskStore) Dir() string { return ds.dir }
+
+// removeStray deletes segment files of other generations — leftovers of a
+// compaction that crashed before (or after) flipping CURRENT.
+func (ds *DiskStore) removeStray() {
+	ents, err := os.ReadDir(ds.dir)
+	if err != nil {
+		return
+	}
+	keep := map[string]bool{
+		currentName:            true,
+		segName("snap", ds.gen): true,
+		segName("log", ds.gen):  true,
+	}
+	for _, e := range ents {
+		if !keep[e.Name()] {
+			os.Remove(filepath.Join(ds.dir, e.Name()))
+		}
+	}
+}
+
+// createLog creates the current generation's empty log (header only) and
+// syncs it.
+func (ds *DiskStore) createLog() error {
+	f, err := os.OpenFile(filepath.Join(ds.dir, segName("log", ds.gen)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	ds.logF, ds.logOff = f, int64(len(segMagic))
+	return nil
+}
+
+// openSnap loads the generation's snapshot segment if one exists. Snapshot
+// segments are fully synced before CURRENT references them, so any defect is
+// corruption, never a torn tail.
+func (ds *DiskStore) openSnap() error {
+	f, err := os.Open(filepath.Join(ds.dir, segName("snap", ds.gen)))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := ds.loadSnap(f); err != nil {
+		f.Close()
+		return err
+	}
+	ds.snapF = f
+	return nil
+}
+
+func (ds *DiskStore) loadSnap(f *os.File) error {
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != segMagic {
+		return fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	off := int64(len(segMagic))
+	for {
+		kind, payload, err := readFrame(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: snapshot frame at %d: %v", ErrCorrupt, off, err)
+		}
+		dataOff := off + frameHeaderLen
+		off = dataOff + int64(len(payload))
+		switch kind {
+		case recValue:
+			if err := ds.addDictEntry(payload); err != nil {
+				return err
+			}
+		case recRel:
+			name, arity, rows, rowsOff, err := decodeRelRecord(payload)
+			if err != nil {
+				return err
+			}
+			r := ds.rel(name, arity)
+			r.reset(arity)
+			base := dataOff + int64(rowsOff)
+			if err := ds.insertRows(r, rows, base, 0); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: snapshot record kind %d", ErrCorrupt, kind)
+		}
+	}
+}
+
+// openLog opens the generation's log, replays its well-formed prefix and
+// truncates any torn tail.
+func (ds *DiskStore) openLog() error {
+	path := filepath.Join(ds.dir, segName("log", ds.gen))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if st.Size() < int64(len(segMagic)) {
+		// The header write itself was torn: the durable prefix is empty.
+		if err := f.Truncate(0); err == nil {
+			_, err = f.WriteAt([]byte(segMagic), 0)
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		ds.logF, ds.logOff = f, int64(len(segMagic))
+		return nil
+	}
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil || string(magic[:]) != segMagic {
+		f.Close()
+		return fmt.Errorf("%w: log header", ErrCorrupt)
+	}
+	// Replay probes read already-replayed rows back through the index, so
+	// the handle must be installed before replay starts.
+	ds.logF = f
+	durable, err := ds.replayLog(f)
+	if err != nil {
+		f.Close()
+		ds.logF = nil
+		return err
+	}
+	if durable < st.Size() {
+		if err := f.Truncate(durable); err != nil {
+			f.Close()
+			ds.logF = nil
+			return err
+		}
+	}
+	ds.logOff = durable
+	return nil
+}
+
+// replayLog applies the log's record sequence to the in-memory state and
+// returns the end offset of the longest well-formed prefix. Anything
+// undecodable — short frame, failed CRC, out-of-range dictionary reference —
+// ends the prefix there.
+func (ds *DiskStore) replayLog(f *os.File) (int64, error) {
+	if _, err := f.Seek(int64(len(segMagic)), io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	off := int64(len(segMagic))
+	for {
+		kind, payload, err := readFrame(br)
+		if err != nil {
+			return off, nil // io.EOF, torn or garbled: prefix ends here
+		}
+		dataOff := off + frameHeaderLen
+		end := dataOff + int64(len(payload))
+		switch kind {
+		case recValue:
+			if ds.addDictEntry(payload) != nil {
+				return off, nil
+			}
+		case recBatch:
+			ms, insertOff, err := decodeBatchRecord(payload)
+			if err != nil || ds.checkEncoded(ms) != nil {
+				return off, nil
+			}
+			for i, m := range ms {
+				if err := ds.applyEncoded(m, dataOff+int64(insertOff[i]), 1); err != nil {
+					// checkEncoded vetted the batch; a failure here is an
+					// internal invariant break, not torn input.
+					return 0, err
+				}
+			}
+		default:
+			return off, nil
+		}
+		off = end
+	}
+}
+
+// addDictEntry decodes a recValue payload, interns the value it defines and
+// assigns it the next store-vid.
+func (ds *DiskStore) addDictEntry(payload []byte) error {
+	dv, err := decodeValueRecord(payload)
+	if err != nil {
+		return err
+	}
+	var id intern.ID
+	if dv.scalar != nil {
+		id = ds.in.Intern(dv.scalar)
+	} else {
+		kids := make([]intern.ID, len(dv.kids))
+		for i, kv := range dv.kids {
+			if kv >= uint64(len(ds.vids)) {
+				return fmt.Errorf("%w: value record references undefined vid %d", ErrCorrupt, kv)
+			}
+			kids[i] = ds.vids[kv]
+		}
+		if dv.kind == value.KindTuple {
+			id = ds.in.InternTuple(kids...)
+		} else {
+			id = ds.in.InternSet(kids...)
+		}
+	}
+	ds.vidOf[id] = uint32(len(ds.vids))
+	ds.vids = append(ds.vids, id)
+	return nil
+}
+
+// checkEncoded validates a decoded batch against the current state — every
+// vid defined, arities consistent — before any of it is applied, so replay
+// keeps Apply's all-or-nothing contract.
+func (ds *DiskStore) checkEncoded(ms []encodedMutation) error {
+	arities := map[string]int{}
+	for name, r := range ds.rels {
+		arities[name] = r.arity
+	}
+	n := uint64(len(ds.vids))
+	for _, m := range ms {
+		if m.Drop {
+			delete(arities, m.Rel)
+			continue
+		}
+		if a, ok := arities[m.Rel]; ok && !m.Reset && a != m.Arity {
+			return errArity(m.Rel, a, m.Arity)
+		}
+		arities[m.Rel] = m.Arity
+		for _, rows := range [2][][]uint32{m.Delete, m.Insert} {
+			for _, row := range rows {
+				for _, vid := range row {
+					if uint64(vid) >= n {
+						return fmt.Errorf("%w: batch references undefined vid %d", ErrCorrupt, vid)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rel returns the named relation's index struct, creating it (empty, with
+// the given arity) if absent.
+func (ds *DiskStore) rel(name string, arity int) *diskRel {
+	r, ok := ds.rels[name]
+	if !ok {
+		r = &diskRel{ds: ds, name: name}
+		r.reset(arity)
+		ds.rels[name] = r
+	}
+	return r
+}
+
+// reset reinitializes the relation to empty with the given arity.
+func (r *diskRel) reset(arity int) {
+	r.ds.deadRows += r.live
+	r.arity = arity
+	r.order, r.hashes, r.dead = nil, nil, nil
+	r.live = 0
+	r.table = make([]uint32, relationMinTableDisk)
+	r.used, r.mask = 0, relationMinTableDisk-1
+	r.version++
+}
+
+const relationMinTableDisk = 16
+
+// rowIDs translates a vid row to interned IDs (into dst).
+func (ds *DiskStore) rowIDs(row []uint32, dst []intern.ID) ([]intern.ID, error) {
+	dst = dst[:0]
+	for _, vid := range row {
+		if uint64(vid) >= uint64(len(ds.vids)) {
+			return nil, fmt.Errorf("%w: row references undefined vid %d", ErrCorrupt, vid)
+		}
+		dst = append(dst, ds.vids[vid])
+	}
+	return dst, nil
+}
+
+// applyEncoded applies one mutation's in-memory effects. base is the file
+// offset of its first insert row; fileBit says which segment the rows were
+// written to (0 snapshot, 1 log).
+func (ds *DiskStore) applyEncoded(m encodedMutation, base int64, fileBit uint64) error {
+	if m.Drop {
+		if r, ok := ds.rels[m.Rel]; ok {
+			ds.deadRows += r.live
+			delete(ds.rels, m.Rel)
+		}
+		return nil
+	}
+	r, existed := ds.rels[m.Rel]
+	if !existed {
+		r = ds.rel(m.Rel, m.Arity)
+	}
+	if m.Reset {
+		r.reset(m.Arity)
+	} else if r.arity != m.Arity {
+		return errArity(m.Rel, r.arity, m.Arity)
+	}
+	if m.Arity == 0 {
+		if len(m.Delete) > 0 && r.live > 0 {
+			r.live = 0
+			ds.deadRows++
+		}
+		if len(m.Insert) > 0 && r.live == 0 {
+			r.live = 1
+		}
+		r.version++
+		return nil
+	}
+	var (
+		idbuf = make([]intern.ID, 0, m.Arity)
+		pbuf  = make([]intern.ID, m.Arity)
+		bbuf  = make([]byte, m.Arity*4)
+		err   error
+	)
+	for _, row := range m.Delete {
+		idbuf, err = ds.rowIDs(row, idbuf)
+		if err != nil {
+			return err
+		}
+		if err := r.delete(idbuf, pbuf, bbuf); err != nil {
+			return err
+		}
+	}
+	if err := ds.insertRowsEnc(r, m.Insert, base, fileBit, idbuf, pbuf, bbuf); err != nil {
+		return err
+	}
+	r.version++
+	return nil
+}
+
+// insertRowsEnc inserts vid rows whose payloads start at base.
+func (ds *DiskStore) insertRowsEnc(r *diskRel, rows [][]uint32, base int64, fileBit uint64, idbuf, pbuf []intern.ID, bbuf []byte) error {
+	rowBytes := int64(r.arity) * 4
+	for j, row := range rows {
+		ids, err := ds.rowIDs(row, idbuf)
+		if err != nil {
+			return err
+		}
+		ref := uint64(base+int64(j)*rowBytes)<<1 | fileBit
+		added, err := r.insert(ids, ref, pbuf, bbuf)
+		if err != nil {
+			return err
+		}
+		if !added {
+			ds.deadRows++ // the logged row duplicates a live one
+		}
+	}
+	return nil
+}
+
+// insertRows is insertRowsEnc for snapshot loading (fileBit 0, fresh bufs).
+func (ds *DiskStore) insertRows(r *diskRel, rows [][]uint32, base int64, fileBit uint64) error {
+	if r.arity == 0 {
+		if len(rows) > 0 {
+			r.live = 1
+		}
+		return nil
+	}
+	return ds.insertRowsEnc(r, rows, base, fileBit,
+		make([]intern.ID, 0, r.arity), make([]intern.ID, r.arity), make([]byte, r.arity*4))
+}

@@ -1,0 +1,333 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"algrec/internal/value/intern"
+)
+
+// This file is the resident index half of the disk backend: the per-relation
+// open-addressed table over file refs, and the point row reads that back it.
+// All functions here run with the store lock held (read or write per the
+// caller's contract).
+
+// readRow reads the row behind ref into idbuf, translating stored vids to
+// interned IDs. bbuf must hold arity*4 bytes.
+func (ds *DiskStore) readRow(ref uint64, arity int, idbuf []intern.ID, bbuf []byte) ([]intern.ID, error) {
+	if arity == 0 {
+		return idbuf[:0], nil
+	}
+	var f *os.File = ds.logF
+	if ref&1 == 0 {
+		f = ds.snapF
+		if f == nil {
+			return nil, fmt.Errorf("%w: row ref into missing snapshot segment", ErrCorrupt)
+		}
+	}
+	if _, err := f.ReadAt(bbuf, int64(ref>>1)); err != nil {
+		return nil, err
+	}
+	idbuf = idbuf[:0]
+	for j := 0; j < arity; j++ {
+		vid := binary.LittleEndian.Uint32(bbuf[j*4:])
+		if uint64(vid) >= uint64(len(ds.vids)) {
+			return nil, fmt.Errorf("%w: stored row references undefined vid %d", ErrCorrupt, vid)
+		}
+		idbuf = append(idbuf, ds.vids[vid])
+	}
+	return idbuf, nil
+}
+
+func (r *diskRel) isDead(i int) bool {
+	// The bitmap only grows as far as the highest tombstoned index.
+	if i>>6 >= len(r.dead) {
+		return false
+	}
+	return r.dead[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (r *diskRel) markDead(i int) {
+	for len(r.dead)*64 <= i {
+		r.dead = append(r.dead, 0)
+	}
+	r.dead[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// probe walks the table from row's hash slot. It returns the order index of
+// the live matching row (or -1), and the slot an insert should claim — the
+// first tombstone on the path, else the terminating empty slot. The cached
+// per-row hashes filter candidates, so the disk is only read to confirm an
+// exact hash match.
+func (r *diskRel) probe(row []intern.ID, h uint64, pbuf []intern.ID, bbuf []byte) (slot uint32, orderIdx int, err error) {
+	slot = uint32(h) & r.mask
+	reuse := int64(-1)
+	for {
+		e := r.table[slot]
+		switch {
+		case e == 0:
+			if reuse >= 0 {
+				slot = uint32(reuse)
+			}
+			return slot, -1, nil
+		case e == diskSlotTomb:
+			if reuse < 0 {
+				reuse = int64(slot)
+			}
+		default:
+			oi := int(e - 2)
+			if r.hashes[oi] == h {
+				got, err := r.ds.readRow(r.order[oi], r.arity, pbuf, bbuf)
+				if err != nil {
+					return 0, 0, err
+				}
+				if idRowsEqual(got, row) {
+					return slot, oi, nil
+				}
+			}
+		}
+		slot = (slot + 1) & r.mask
+	}
+}
+
+// insert adds the row (stored at ref) if absent, reporting whether it was
+// newly added. Present rows keep their original scan position — insert of a
+// duplicate is a no-op, matching the memory backend.
+func (r *diskRel) insert(row []intern.ID, ref uint64, pbuf []intern.ID, bbuf []byte) (added bool, err error) {
+	h := intern.HashRow(row)
+	slot, oi, err := r.probe(row, h, pbuf, bbuf)
+	if err != nil {
+		return false, err
+	}
+	if oi >= 0 {
+		return false, nil
+	}
+	idx := len(r.order)
+	r.order = append(r.order, ref)
+	r.hashes = append(r.hashes, h)
+	r.live++
+	if r.table[slot] == 0 {
+		r.used++
+	}
+	if r.used*4 > (r.mask+1)*3 {
+		r.grow()
+	} else {
+		r.table[slot] = uint32(idx + 2)
+	}
+	return true, nil
+}
+
+// delete tombstones the row if present.
+func (r *diskRel) delete(row []intern.ID, pbuf []intern.ID, bbuf []byte) error {
+	slot, oi, err := r.probe(row, intern.HashRow(row), pbuf, bbuf)
+	if err != nil {
+		return err
+	}
+	if oi < 0 {
+		return nil
+	}
+	r.table[slot] = diskSlotTomb
+	r.markDead(oi)
+	r.live--
+	r.ds.deadRows++
+	return nil
+}
+
+// grow doubles the table; resize rebuilds it at the given power-of-two size,
+// rehashing live entries from the cached hashes — no disk reads.
+func (r *diskRel) grow() { r.resize((r.mask + 1) * 2) }
+
+func (r *diskRel) resize(size uint32) {
+	r.table = make([]uint32, size)
+	r.mask = size - 1
+	r.used = 0
+	for i := range r.order {
+		if r.isDead(i) {
+			continue
+		}
+		slot := uint32(r.hashes[i]) & r.mask
+		for r.table[slot] != 0 {
+			slot = (slot + 1) & r.mask
+		}
+		r.table[slot] = uint32(i + 2)
+		r.used++
+	}
+}
+
+func idRowsEqual(a, b []intern.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Relation interface ---
+
+// Arity implements Relation.
+func (r *diskRel) Arity() int {
+	r.ds.mu.RLock()
+	defer r.ds.mu.RUnlock()
+	return r.arity
+}
+
+// Len implements Relation.
+func (r *diskRel) Len() int {
+	r.ds.mu.RLock()
+	defer r.ds.mu.RUnlock()
+	return r.live
+}
+
+// Has implements Relation.
+func (r *diskRel) Has(row []intern.ID) (bool, error) {
+	r.ds.mu.RLock()
+	defer r.ds.mu.RUnlock()
+	if err := r.ds.broken; err != nil {
+		return false, err
+	}
+	if len(row) != r.arity {
+		return false, errArity(r.name, r.arity, len(row))
+	}
+	if r.arity == 0 {
+		return r.live > 0, nil
+	}
+	pbuf := make([]intern.ID, r.arity)
+	bbuf := make([]byte, r.arity*4)
+	_, oi, err := r.probe(row, intern.HashRow(row), pbuf, bbuf)
+	return oi >= 0, err
+}
+
+// Scan implements Relation.
+func (r *diskRel) Scan(yield func(row []intern.ID) bool) error {
+	r.ds.mu.RLock()
+	defer r.ds.mu.RUnlock()
+	return r.scanLocked(yield)
+}
+
+func (r *diskRel) scanLocked(yield func(row []intern.ID) bool) error {
+	if err := r.ds.broken; err != nil {
+		return err
+	}
+	if r.arity == 0 {
+		if r.live > 0 {
+			yield(nil)
+		}
+		return nil
+	}
+	idbuf := make([]intern.ID, r.arity)
+	bbuf := make([]byte, r.arity*4)
+	for i, ref := range r.order {
+		if r.isDead(i) {
+			continue
+		}
+		row, err := r.ds.readRow(ref, r.arity, idbuf, bbuf)
+		if err != nil {
+			return err
+		}
+		if !yield(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanShard implements Relation.
+func (r *diskRel) ScanShard(shard, shards int, yield func(row []intern.ID) bool) error {
+	r.ds.mu.RLock()
+	defer r.ds.mu.RUnlock()
+	if err := r.ds.broken; err != nil {
+		return err
+	}
+	if r.arity == 0 {
+		if r.live > 0 && shard == 0 {
+			yield(nil)
+		}
+		return nil
+	}
+	idbuf := make([]intern.ID, r.arity)
+	bbuf := make([]byte, r.arity*4)
+	for i, ref := range r.order {
+		if r.isDead(i) {
+			continue
+		}
+		// The cached row hash is intern.HashRow, so the shard filter needs no
+		// disk read for rows outside the shard.
+		if shards > 1 && int(r.hashes[i]%uint64(shards)) != shard {
+			continue
+		}
+		row, err := r.ds.readRow(ref, r.arity, idbuf, bbuf)
+		if err != nil {
+			return err
+		}
+		if !yield(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Lookup implements Relation. Like the memory backend it serves point
+// lookups from a lazily built per-column postings index (over order
+// indices), rebuilt after mutations.
+func (r *diskRel) Lookup(col int, id intern.ID, yield func(row []intern.ID) bool) error {
+	r.ds.mu.RLock()
+	defer r.ds.mu.RUnlock()
+	if err := r.ds.broken; err != nil {
+		return err
+	}
+	if col < 0 || col >= r.arity {
+		return errColumn(col, r.arity)
+	}
+	idx, err := r.postings(col)
+	if err != nil {
+		return err
+	}
+	idbuf := make([]intern.ID, r.arity)
+	bbuf := make([]byte, r.arity*4)
+	for _, oi := range idx[id] {
+		if r.isDead(int(oi)) {
+			continue
+		}
+		row, err := r.ds.readRow(r.order[oi], r.arity, idbuf, bbuf)
+		if err != nil {
+			return err
+		}
+		if !yield(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (r *diskRel) postings(col int) (map[intern.ID][]int32, error) {
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	if r.idxVersion != r.version {
+		r.colIdx = map[int]map[intern.ID][]int32{}
+		r.idxVersion = r.version
+	}
+	idx, ok := r.colIdx[col]
+	if ok {
+		return idx, nil
+	}
+	idx = map[intern.ID][]int32{}
+	idbuf := make([]intern.ID, r.arity)
+	bbuf := make([]byte, r.arity*4)
+	for i, ref := range r.order {
+		if r.isDead(i) {
+			continue
+		}
+		row, err := r.ds.readRow(ref, r.arity, idbuf, bbuf)
+		if err != nil {
+			return nil, err
+		}
+		idx[row[col]] = append(idx[row[col]], int32(i))
+	}
+	r.colIdx[col] = idx
+	return idx, nil
+}

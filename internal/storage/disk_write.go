@@ -1,0 +1,451 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"algrec/internal/value"
+	"algrec/internal/value/intern"
+)
+
+// This file is the disk backend's write path: Apply (log append), Snapshot
+// (generation compaction), and the Store plumbing around them.
+
+// Rel implements Store.
+func (ds *DiskStore) Rel(name string) (Relation, bool, error) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if err := ds.broken; err != nil {
+		return nil, false, err
+	}
+	r, ok := ds.rels[name]
+	if !ok {
+		return nil, false, nil
+	}
+	return r, true, nil
+}
+
+// Rels implements Store.
+func (ds *DiskStore) Rels() ([]RelInfo, error) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if err := ds.broken; err != nil {
+		return nil, err
+	}
+	out := make([]RelInfo, 0, len(ds.rels))
+	for name, r := range ds.rels {
+		out = append(out, RelInfo{Name: name, Arity: r.arity, Len: r.live})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Apply implements Store: the batch is framed in memory (new dictionary
+// entries first, then one recBatch record), appended to the log with a
+// single write, and only then applied to the resident index — so the visible
+// state never runs ahead of the log, and a torn write at any byte still
+// recovers to a batch boundary.
+func (ds *DiskStore) Apply(b Batch) error {
+	if err := b.validate(); err != nil {
+		return err
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if err := ds.broken; err != nil {
+		return err
+	}
+	if ds.closed {
+		return fmt.Errorf("storage: disk store is closed")
+	}
+	// Pre-validate arities across the whole batch before any writes.
+	arities := map[string]int{}
+	for name, r := range ds.rels {
+		arities[name] = r.arity
+	}
+	for _, m := range b {
+		if m.Drop {
+			delete(arities, m.Rel)
+			continue
+		}
+		if a, ok := arities[m.Rel]; ok && !m.Reset && a != m.Arity {
+			return errArity(m.Rel, a, m.Arity)
+		}
+		arities[m.Rel] = m.Arity
+	}
+
+	// Encode: dictionary growth frames, then the batch frame.
+	var scratch []byte
+	ms := make([]encodedMutation, len(b))
+	for i, m := range b {
+		em := encodedMutation{Rel: m.Rel, Arity: m.Arity, Reset: m.Reset, Drop: m.Drop}
+		var err error
+		if em.Delete, err = ds.encodeRows(m.Delete, &scratch); err != nil {
+			return err
+		}
+		if em.Insert, err = ds.encodeRows(m.Insert, &scratch); err != nil {
+			return err
+		}
+		ms[i] = em
+	}
+	insertOff := make([]int, len(ms))
+	payload := appendBatchRecord(nil, ms, insertOff)
+	batchFrameOff := len(scratch)
+	scratch = appendFrame(scratch, recBatch, payload)
+
+	// One write, optional fsync; an I/O failure poisons the store (the
+	// on-disk tail is now unknown, but reopening recovers the durable
+	// prefix).
+	if _, err := ds.logF.WriteAt(scratch, ds.logOff); err != nil {
+		ds.broken = err
+		return err
+	}
+	if ds.opt.Sync {
+		if err := ds.logF.Sync(); err != nil {
+			ds.broken = err
+			return err
+		}
+	}
+	dataOff := ds.logOff + int64(batchFrameOff) + frameHeaderLen
+	ds.logOff += int64(len(scratch))
+
+	for i, m := range ms {
+		if err := ds.applyEncoded(m, dataOff+int64(insertOff[i]), 1); err != nil {
+			ds.broken = err // index out of step with the log
+			return err
+		}
+	}
+	ds.maybeCompact()
+	return nil
+}
+
+// encodeRows translates ID rows to vid rows, appending dictionary frames to
+// scratch for values the store has not yet persisted.
+func (ds *DiskStore) encodeRows(rows [][]intern.ID, scratch *[]byte) ([][]uint32, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out := make([][]uint32, len(rows))
+	for i, row := range rows {
+		vr := make([]uint32, len(row))
+		for j, id := range row {
+			vid, err := ds.ensureVID(id, scratch)
+			if err != nil {
+				return nil, err
+			}
+			vr[j] = vid
+		}
+		out[i] = vr
+	}
+	return out, nil
+}
+
+// ensureVID returns id's store-vid, defining it (and, bottom-up, its
+// children) with recValue frames appended to scratch if it is new. The vid
+// is assigned eagerly; if the batch's write later fails the store is
+// poisoned, so the optimistic assignment can never leak into a live store
+// whose log lacks the definition.
+func (ds *DiskStore) ensureVID(id intern.ID, scratch *[]byte) (uint32, error) {
+	if vid, ok := ds.vidOf[id]; ok {
+		return vid, nil
+	}
+	v := ds.in.Lookup(id)
+	var kids []uint32
+	if k := v.Kind(); k == value.KindTuple || k == value.KindSet {
+		sub := ds.in.Elems(id)
+		kids = make([]uint32, len(sub))
+		for i, c := range sub {
+			kv, err := ds.ensureVID(c, scratch)
+			if err != nil {
+				return 0, err
+			}
+			kids[i] = kv
+		}
+	}
+	payload, err := appendValueRecord(nil, v, func(i int) uint64 { return uint64(kids[i]) }, len(kids))
+	if err != nil {
+		return 0, err
+	}
+	*scratch = appendFrame(*scratch, recValue, payload)
+	vid := uint32(len(ds.vids))
+	ds.vids = append(ds.vids, id)
+	ds.vidOf[id] = vid
+	return vid, nil
+}
+
+// maybeCompact starts a background compaction when dead log rows outnumber
+// live ones (above a floor). Called with the write lock held.
+func (ds *DiskStore) maybeCompact() {
+	if ds.compacting || ds.closed || ds.deadRows < compactMinDead {
+		return
+	}
+	live := 0
+	for _, r := range ds.rels {
+		live += r.live
+	}
+	if ds.deadRows <= live {
+		return
+	}
+	ds.compacting = true
+	ds.compWG.Add(1)
+	go func() {
+		defer ds.compWG.Done()
+		ds.mu.Lock()
+		defer ds.mu.Unlock()
+		ds.compacting = false
+		if ds.closed || ds.broken != nil {
+			return
+		}
+		if err := ds.snapshotLocked(); err != nil {
+			ds.broken = err
+		}
+	}()
+}
+
+// Snapshot implements Store: write a checkpoint of the current state as a
+// new generation and drop the old files. Reopening afterwards replays
+// nothing.
+func (ds *DiskStore) Snapshot() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if err := ds.broken; err != nil {
+		return err
+	}
+	if ds.closed {
+		return fmt.Errorf("storage: disk store is closed")
+	}
+	return ds.snapshotLocked()
+}
+
+// snapshotLocked writes generation gen+1: a snapshot segment holding a
+// re-emitted dictionary (only values live rows reach, re-numbered densely)
+// and every relation's contents, then an empty log, then the CURRENT flip.
+// Only after the flip is the resident state swapped and the old generation
+// deleted — a crash anywhere before the rename leaves the old generation
+// fully intact.
+func (ds *DiskStore) snapshotLocked() error {
+	newGen := ds.gen + 1
+	snapPath := filepath.Join(ds.dir, segName("snap", newGen))
+	f, err := os.OpenFile(snapPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	off := int64(len(segMagic))
+
+	// New dictionary, populated as rows are re-encoded.
+	newVids := []intern.ID{}
+	newVidOf := map[intern.ID]uint32{}
+	var ensure func(id intern.ID) (uint32, error)
+	ensure = func(id intern.ID) (uint32, error) {
+		if vid, ok := newVidOf[id]; ok {
+			return vid, nil
+		}
+		v := ds.in.Lookup(id)
+		var kids []uint32
+		if k := v.Kind(); k == value.KindTuple || k == value.KindSet {
+			sub := ds.in.Elems(id)
+			kids = make([]uint32, len(sub))
+			for i, c := range sub {
+				kv, err := ensure(c)
+				if err != nil {
+					return 0, err
+				}
+				kids[i] = kv
+			}
+		}
+		payload, err := appendValueRecord(nil, v, func(i int) uint64 { return uint64(kids[i]) }, len(kids))
+		if err != nil {
+			return 0, err
+		}
+		frame := appendFrame(nil, recValue, payload)
+		if _, err := w.Write(frame); err != nil {
+			return 0, err
+		}
+		off += int64(len(frame))
+		vid := uint32(len(newVids))
+		newVids = append(newVids, id)
+		newVidOf[id] = vid
+		return vid, nil
+	}
+
+	// Per relation: read live rows, define their values, write one recRel
+	// frame, and remember the new refs for the index swap.
+	type relSwap struct {
+		r      *diskRel
+		order  []uint64
+		hashes []uint64
+		rows   [][]intern.ID
+	}
+	names := make([]string, 0, len(ds.rels))
+	for name := range ds.rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	swaps := make([]relSwap, 0, len(names))
+	fail := func(err error) error { f.Close(); os.Remove(snapPath); return err }
+	for _, name := range names {
+		r := ds.rels[name]
+		sw := relSwap{r: r}
+		err := r.scanLocked(func(row []intern.ID) bool {
+			cp := make([]intern.ID, len(row))
+			copy(cp, row)
+			sw.rows = append(sw.rows, cp)
+			return true
+		})
+		if err != nil {
+			return fail(err)
+		}
+		payload := putUvarint(nil, uint64(len(name)))
+		payload = append(payload, name...)
+		payload = putUvarint(payload, uint64(r.arity))
+		payload = putUvarint(payload, uint64(len(sw.rows)))
+		rowsOff := len(payload)
+		for _, row := range sw.rows {
+			for _, id := range row {
+				vid, err := ensure(id)
+				if err != nil {
+					return fail(err)
+				}
+				vr := [4]byte{byte(vid), byte(vid >> 8), byte(vid >> 16), byte(vid >> 24)}
+				payload = append(payload, vr[:]...)
+			}
+		}
+		frame := appendFrame(nil, recRel, payload)
+		if _, err := w.Write(frame); err != nil {
+			return fail(err)
+		}
+		base := off + frameHeaderLen + int64(rowsOff)
+		rowBytes := int64(r.arity) * 4
+		for j, row := range sw.rows {
+			sw.order = append(sw.order, uint64(base+int64(j)*rowBytes)<<1)
+			sw.hashes = append(sw.hashes, intern.HashRow(row))
+		}
+		off += int64(len(frame))
+		swaps = append(swaps, sw)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+
+	// New empty log, synced before the flip.
+	logPath := filepath.Join(ds.dir, segName("log", newGen))
+	lf, err := os.OpenFile(logPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := lf.Write([]byte(segMagic)); err == nil {
+		err = lf.Sync()
+	}
+	if err != nil {
+		lf.Close()
+		os.Remove(logPath)
+		return fail(err)
+	}
+	if err := writeCurrent(ds.dir, newGen); err != nil {
+		lf.Close()
+		os.Remove(logPath)
+		return fail(err)
+	}
+
+	// The flip is durable; swap the resident state and drop the old files.
+	oldSnap, oldLog, oldGen := ds.snapF, ds.logF, ds.gen
+	ds.gen = newGen
+	ds.snapF, ds.logF, ds.logOff = f, lf, int64(len(segMagic))
+	ds.vids, ds.vidOf = newVids, newVidOf
+	ds.deadRows = 0
+	for _, sw := range swaps {
+		r := sw.r
+		r.order, r.hashes, r.dead = sw.order, sw.hashes, nil
+		r.live = len(sw.order)
+		size := uint32(relationMinTableDisk)
+		for int(size)*3 < len(sw.order)*4 {
+			size *= 2
+		}
+		r.resize(size)
+		r.version++
+	}
+	if oldSnap != nil {
+		oldSnap.Close()
+		os.Remove(filepath.Join(ds.dir, segName("snap", oldGen)))
+	}
+	if oldLog != nil {
+		oldLog.Close()
+		os.Remove(filepath.Join(ds.dir, segName("log", oldGen)))
+	}
+	return nil
+}
+
+// Close implements Store. It waits for any background compaction, then
+// closes the segment files. Unsynced log writes are flushed to the OS
+// already (Apply writes through), so close loses nothing short of a machine
+// crash.
+func (ds *DiskStore) Close() error {
+	ds.mu.Lock()
+	if ds.closed {
+		ds.mu.Unlock()
+		return nil
+	}
+	ds.closed = true
+	ds.mu.Unlock()
+	ds.compWG.Wait()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	var err error
+	if ds.logF != nil {
+		if !ds.opt.Sync {
+			err = ds.logF.Sync() // best-effort durability on clean close
+		}
+		if e := ds.logF.Close(); err == nil {
+			err = e
+		}
+	}
+	if ds.snapF != nil {
+		if e := ds.snapF.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// writeCurrent atomically publishes gen as the directory's current
+// generation: tmp write, fsync, rename, directory fsync.
+func writeCurrent(dir string, gen uint64) error {
+	tmp := filepath.Join(dir, currentName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", gen); err == nil {
+		err = f.Sync()
+	}
+	if e := f.Close(); err == nil {
+		err = e
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, currentName)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory (best effort; not all platforms support it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

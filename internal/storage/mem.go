@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+
+	"algrec/internal/value/intern"
+)
+
+// Mem is the in-memory backend: the repository's flat-ID-row engine
+// (intern.Relation, extended with tombstone deletion) behind the Store
+// interface. It is the zero-cost default — the same representation the
+// grounder and the fixpoint engines already use — and the reference
+// implementation the disk backend's conformance is checked against.
+type Mem struct {
+	in   *intern.Interner
+	mu   sync.RWMutex
+	rels map[string]*memRel
+}
+
+// NewMem returns an empty memory store. A nil interner means the process
+// global one (the interner only matters for Lookup's ID vocabulary — rows
+// are stored as the caller's IDs either way).
+func NewMem(in *intern.Interner) *Mem {
+	if in == nil {
+		in = intern.Global()
+	}
+	return &Mem{in: in, rels: map[string]*memRel{}}
+}
+
+// memRel is one memory-backed relation. The struct survives Reset (only the
+// inner intern.Relation is replaced), so a Relation handle obtained from Rel
+// observes later mutations, as the interface requires.
+type memRel struct {
+	st *Mem
+	r  *intern.Relation
+
+	// version counts mutations; the lazy column index is rebuilt when its
+	// build version falls behind.
+	version uint64
+
+	idxMu      sync.Mutex
+	idxVersion uint64
+	colIdx     map[int]map[intern.ID][]int32
+}
+
+// Rel implements Store.
+func (m *Mem) Rel(name string) (Relation, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r, ok := m.rels[name]
+	return r, ok, nil
+}
+
+// Rels implements Store.
+func (m *Mem) Rels() ([]RelInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]RelInfo, 0, len(m.rels))
+	for name, r := range m.rels {
+		out = append(out, RelInfo{Name: name, Arity: r.r.Arity(), Len: r.r.LiveLen()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Apply implements Store. The batch is validated in full — including arity
+// agreement with existing relations — before the first row is touched, so a
+// failed Apply leaves the store unchanged.
+func (m *Mem) Apply(b Batch) error {
+	if err := b.validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	arities := map[string]int{}
+	for name, r := range m.rels {
+		arities[name] = r.r.Arity()
+	}
+	for _, mu := range b {
+		if mu.Drop {
+			delete(arities, mu.Rel)
+			continue
+		}
+		if a, ok := arities[mu.Rel]; ok && !mu.Reset && a != mu.Arity {
+			return errArity(mu.Rel, a, mu.Arity)
+		}
+		arities[mu.Rel] = mu.Arity
+	}
+	for _, mu := range b {
+		if mu.Drop {
+			delete(m.rels, mu.Rel)
+			continue
+		}
+		r, ok := m.rels[mu.Rel]
+		if !ok {
+			r = &memRel{st: m, r: intern.NewRelation(mu.Arity)}
+			m.rels[mu.Rel] = r
+		} else if mu.Reset {
+			r.r = intern.NewRelation(mu.Arity)
+		}
+		for _, row := range mu.Delete {
+			r.r.Delete(row)
+		}
+		for _, row := range mu.Insert {
+			r.r.Insert(row)
+		}
+		r.version++
+	}
+	return nil
+}
+
+// Snapshot implements Store: the memory backend is exactly as durable after
+// a snapshot as before, so this is a no-op.
+func (m *Mem) Snapshot() error { return nil }
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }
+
+// Arity implements Relation.
+func (r *memRel) Arity() int {
+	r.st.mu.RLock()
+	defer r.st.mu.RUnlock()
+	return r.r.Arity()
+}
+
+// Len implements Relation.
+func (r *memRel) Len() int {
+	r.st.mu.RLock()
+	defer r.st.mu.RUnlock()
+	return r.r.LiveLen()
+}
+
+// Has implements Relation.
+func (r *memRel) Has(row []intern.ID) (bool, error) {
+	r.st.mu.RLock()
+	defer r.st.mu.RUnlock()
+	if len(row) != r.r.Arity() {
+		return false, errArity("", r.r.Arity(), len(row))
+	}
+	return r.r.Has(row), nil
+}
+
+// Scan implements Relation.
+func (r *memRel) Scan(yield func(row []intern.ID) bool) error {
+	r.st.mu.RLock()
+	defer r.st.mu.RUnlock()
+	r.r.Scan(func(_ int, row []intern.ID) bool { return yield(row) })
+	return nil
+}
+
+// ScanShard implements Relation.
+func (r *memRel) ScanShard(shard, shards int, yield func(row []intern.ID) bool) error {
+	r.st.mu.RLock()
+	defer r.st.mu.RUnlock()
+	r.r.Scan(func(_ int, row []intern.ID) bool {
+		if RowShard(row, shards) != shard {
+			return true
+		}
+		return yield(row)
+	})
+	return nil
+}
+
+// Lookup implements Relation. The per-column postings index is built lazily
+// on first use and rebuilt after mutations; between mutations concurrent
+// lookups share it.
+func (r *memRel) Lookup(col int, id intern.ID, yield func(row []intern.ID) bool) error {
+	r.st.mu.RLock()
+	defer r.st.mu.RUnlock()
+	if col < 0 || col >= r.r.Arity() {
+		return errColumn(col, r.r.Arity())
+	}
+	idx := r.postings(col)
+	for _, ri := range idx[id] {
+		if !yield(r.r.Row(int(ri))) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// postings returns the column's id -> row-index postings, rebuilding the
+// lazy index if a mutation has invalidated it. Called with the store read
+// lock held, so the relation cannot change underneath the build.
+func (r *memRel) postings(col int) map[intern.ID][]int32 {
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	if r.idxVersion != r.version {
+		r.colIdx = map[int]map[intern.ID][]int32{}
+		r.idxVersion = r.version
+	}
+	idx, ok := r.colIdx[col]
+	if !ok {
+		idx = map[intern.ID][]int32{}
+		r.r.Scan(func(i int, row []intern.ID) bool {
+			idx[row[col]] = append(idx[row[col]], int32(i))
+			return true
+		})
+		r.colIdx[col] = idx
+	}
+	return idx
+}

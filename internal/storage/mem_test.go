@@ -1,0 +1,14 @@
+package storage_test
+
+import (
+	"testing"
+
+	"algrec/internal/storage"
+	"algrec/internal/storage/storagetest"
+)
+
+func TestMemConformance(t *testing.T) {
+	storagetest.Run(t, func(t *testing.T) (storage.Store, func() storage.Store) {
+		return storage.NewMem(nil), nil
+	})
+}

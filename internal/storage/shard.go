@@ -1,0 +1,63 @@
+package storage
+
+import (
+	"runtime"
+	"sync"
+
+	"algrec/internal/value/intern"
+)
+
+// RowShard returns row's shard index under a shards-way hash partition. The
+// partition is a pure function of the row's interned IDs (the same row hash
+// the backends' open-addressed indexes use), so every backend agrees on the
+// assignment and the union of the shard scans is exactly the full scan.
+// Shard assignment is process-local (IDs are interner-local) and is never
+// persisted — the disk backend shards logically at scan time.
+func RowShard(row []intern.ID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(intern.HashRow(row) % uint64(shards))
+}
+
+// scanParallelMin is the live-row count below which parallel shard scans
+// are not worth their goroutine setup; smaller relations scan serially.
+const scanParallelMin = 2048
+
+// ParallelScan scans r with up to workers concurrent hash-shard scans,
+// calling yield from multiple goroutines (one shard per worker at a time;
+// yield must be safe for concurrent calls and must not call back into the
+// store). Row order within a shard is the insertion order; across shards it
+// is interleaved. It is the fan-out primitive the serving path uses to
+// parallelize per-row work — materialization, grounding-side fact building —
+// over large stored relations, extending the sharded experiment runner's
+// pattern onto the leaf scans.
+func ParallelScan(r Relation, workers int, yield func(shard int, row []intern.ID) bool) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || r.Len() < scanParallelMin {
+		return r.Scan(func(row []intern.ID) bool { return yield(0, row) })
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ferr error
+	)
+	for s := 0; s < workers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			err := r.ScanShard(s, workers, func(row []intern.ID) bool { return yield(s, row) })
+			if err != nil {
+				mu.Lock()
+				if ferr == nil {
+					ferr = err
+				}
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	return ferr
+}

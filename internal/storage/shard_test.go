@@ -1,0 +1,105 @@
+package storage_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"algrec/internal/storage"
+	"algrec/internal/value/intern"
+)
+
+// TestRowShardPartition: the shard function is a total partition — every row
+// lands in exactly one shard in range, deterministically.
+func TestRowShardPartition(t *testing.T) {
+	in := intern.Global()
+	rows := make([][]intern.ID, 1000)
+	for i := range rows {
+		rows[i] = []intern.ID{in.InternInt(int64(i)), in.InternInt(int64(i % 13))}
+	}
+	for _, shards := range []int{1, 2, 7, 16} {
+		counts := make([]int, shards)
+		for _, row := range rows {
+			s := storage.RowShard(row, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("RowShard(%v, %d) = %d out of range", row, shards, s)
+			}
+			if s2 := storage.RowShard(row, shards); s2 != s {
+				t.Fatalf("RowShard not deterministic: %d vs %d", s, s2)
+			}
+			counts[s]++
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != len(rows) {
+			t.Fatalf("shards=%d: partition covers %d rows, want %d", shards, total, len(rows))
+		}
+		if shards >= 7 {
+			// The hash should spread a sequential key space: no empty shard.
+			for s, c := range counts {
+				if c == 0 {
+					t.Fatalf("shards=%d: shard %d empty", shards, s)
+				}
+			}
+		}
+	}
+	if storage.RowShard(rows[0], 0) != 0 || storage.RowShard(rows[0], 1) != 0 {
+		t.Fatal("degenerate shard counts must map to shard 0")
+	}
+}
+
+// TestParallelScanEqualsScan: a concurrent sharded scan visits exactly the
+// rows of a serial scan, on both backends, above and below the parallel
+// threshold.
+func TestParallelScanEqualsScan(t *testing.T) {
+	in := intern.Global()
+	for _, n := range []int{100, 5000} {
+		rows := make([][]intern.ID, n)
+		for i := range rows {
+			rows[i] = []intern.ID{in.InternInt(int64(i)), in.InternInt(int64(i * 3))}
+		}
+		stores := map[string]storage.Store{"mem": storage.NewMem(nil)}
+		disk, err := storage.OpenDisk(t.TempDir(), storage.DiskOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer disk.Close()
+		stores["disk"] = disk
+		for name, st := range stores {
+			if err := st.Apply(storage.Batch{{Rel: "e", Arity: 2, Insert: rows}}); err != nil {
+				t.Fatal(err)
+			}
+			r, _, _ := st.Rel("e")
+			var serial []string
+			if err := r.Scan(func(row []intern.ID) bool {
+				serial = append(serial, fmt.Sprint(row))
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var mu sync.Mutex
+			var par []string
+			if err := storage.ParallelScan(r, 4, func(shard int, row []intern.ID) bool {
+				mu.Lock()
+				par = append(par, fmt.Sprint(row))
+				mu.Unlock()
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(serial)
+			sort.Strings(par)
+			if len(serial) != n || len(par) != n {
+				t.Fatalf("%s n=%d: serial %d rows, parallel %d", name, n, len(serial), len(par))
+			}
+			for i := range serial {
+				if serial[i] != par[i] {
+					t.Fatalf("%s n=%d: row sets differ at %d: %s vs %s", name, n, i, serial[i], par[i])
+				}
+			}
+		}
+	}
+}

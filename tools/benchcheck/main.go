@@ -50,7 +50,7 @@ func run(args []string, stdout, stderr io.Writer, gh bool) int {
 	fs.SetOutput(stderr)
 	baseline := fs.String("baseline", "BENCH_baseline.json", "committed baseline record")
 	tol := fs.Float64("tol", 3.0, "wall-clock slowdown factor that counts as a regression")
-	gates := fs.String("gates", "P10:ifpTCChain:2.0,P11:ivmInsertChain:5.0",
+	gates := fs.String("gates", "P10:ifpTCChain:2.0,P11:ivmInsertChain:5.0,P12:storageMemServe(96):0.95",
 		"comma-separated suite:rowprefix:minspeedup floors the current run's speedup rows must meet (empty disables)")
 	gatesOnly := fs.Bool("gatesonly", false,
 		"check only the -gates floors, skipping the baseline wall comparison (the current record may then hold just the gated suites)")

@@ -90,15 +90,23 @@ func p11Suite() expt.RecordSuite {
 		Rows:   [][]string{{"ivmInsertChain(128)", "10", "1ms", "1ms", "50.00x", "yes"}}}
 }
 
+// p12Suite is a passing P12 storage suite, satisfying the default
+// storageMemServe gate so tests can focus on the P10 rows.
+func p12Suite() expt.RecordSuite {
+	return expt.RecordSuite{ID: "P12", Title: "experiment P12", OK: true, WallNS: 100,
+		Header: []string{"workload", "n", "base", "with storage", "speedup", "agree"},
+		Rows:   [][]string{{"storageMemServe(96)", "96", "1ms", "1ms", "1.00x", "yes"}}}
+}
+
 func TestSpeedupGates(t *testing.T) {
 	dir := t.TempDir()
 	row := func(name, sp string) []string { return []string{name, "10", "1ms", "1ms", sp, "yes"} }
 	base := writeRecord(t, dir, "base.json", &expt.Record{Scale: 1,
-		Suites: []expt.RecordSuite{gatedSuite("P10", row("ifpTCChain(128)", "5.00x")), p11Suite()}})
+		Suites: []expt.RecordSuite{gatedSuite("P10", row("ifpTCChain(128)", "5.00x")), p11Suite(), p12Suite()}})
 
 	// Current run holds the floor: exit 0.
 	ok := writeRecord(t, dir, "ok.json", &expt.Record{Scale: 1, Suites: []expt.RecordSuite{
-		gatedSuite("P10", row("ifpTCChain(128)", "2.40x"), row("dlogWinGame(128)", "0.90x")), p11Suite()}})
+		gatedSuite("P10", row("ifpTCChain(128)", "2.40x"), row("dlogWinGame(128)", "0.90x")), p11Suite(), p12Suite()}})
 	var out, errb strings.Builder
 	if code := run([]string{"-baseline", base, ok}, &out, &errb, false); code != 0 {
 		t.Fatalf("want exit 0, got %d:\n%s%s", code, out.String(), errb.String())
@@ -108,7 +116,7 @@ func TestSpeedupGates(t *testing.T) {
 	// fine; ungated rows (dlogWinGame) stay advisory.
 	out.Reset()
 	slow := writeRecord(t, dir, "slow.json", &expt.Record{Scale: 1, Suites: []expt.RecordSuite{
-		gatedSuite("P10", row("ifpTCChain(128)", "1.10x"), row("dlogWinGame(128)", "0.50x")), p11Suite()}})
+		gatedSuite("P10", row("ifpTCChain(128)", "1.10x"), row("dlogWinGame(128)", "0.50x")), p11Suite(), p12Suite()}})
 	if code := run([]string{"-baseline", base, slow}, &out, &errb, false); code != 1 {
 		t.Fatalf("want exit 1, got %d:\n%s", code, out.String())
 	}
@@ -124,7 +132,7 @@ func TestSpeedupGates(t *testing.T) {
 	// Gated rows disappearing (or the whole suite) is a regression too.
 	out.Reset()
 	gone := writeRecord(t, dir, "gone.json", &expt.Record{Scale: 1, Suites: []expt.RecordSuite{
-		gatedSuite("P10", row("dlogWinGame(128)", "0.90x")), p11Suite()}})
+		gatedSuite("P10", row("dlogWinGame(128)", "0.90x")), p11Suite(), p12Suite()}})
 	if code := run([]string{"-baseline", base, gone}, &out, &errb, false); code != 1 {
 		t.Fatalf("want exit 1, got %d:\n%s", code, out.String())
 	}
@@ -147,7 +155,7 @@ func TestGatesOnly(t *testing.T) {
 	// suite passes even though every other suite is "missing" and no baseline
 	// file exists at the default path.
 	ok := writeRecord(t, dir, "ok.json", &expt.Record{Scale: 1, Suites: []expt.RecordSuite{
-		gatedSuite("P10", row("ifpTCChain(128)", "3.10x")), p11Suite()}})
+		gatedSuite("P10", row("ifpTCChain(128)", "3.10x")), p11Suite(), p12Suite()}})
 	var out, errb strings.Builder
 	if code := run([]string{"-gatesonly", "-baseline", filepath.Join(dir, "nope.json"), ok}, &out, &errb, false); code != 0 {
 		t.Fatalf("want exit 0, got %d:\n%s%s", code, out.String(), errb.String())
@@ -159,7 +167,7 @@ func TestGatesOnly(t *testing.T) {
 	// Floor violations still fail in gates-only mode.
 	out.Reset()
 	slow := writeRecord(t, dir, "slow.json", &expt.Record{Scale: 1, Suites: []expt.RecordSuite{
-		gatedSuite("P10", row("ifpTCChain(128)", "1.30x")), p11Suite()}})
+		gatedSuite("P10", row("ifpTCChain(128)", "1.30x")), p11Suite(), p12Suite()}})
 	if code := run([]string{"-gatesonly", slow}, &out, &errb, false); code != 1 {
 		t.Fatalf("want exit 1, got %d:\n%s", code, out.String())
 	}
